@@ -1,0 +1,38 @@
+(* Benchmark harness: regenerates every table and figure of the
+   evaluation.  With no arguments it runs everything in paper order;
+   pass experiment ids (e.g. `f3.3 t6.1`) to run a subset, or `--list`
+   to enumerate them. *)
+
+let usage () =
+  Format.printf "usage: main.exe [--list | id ...]@.ids:@.";
+  List.iter
+    (fun (e : Experiments.Registry.experiment) ->
+      Format.printf "  %-8s %s@." e.id e.title)
+    Experiments.Registry.all
+
+let run_one (e : Experiments.Registry.experiment) =
+  let fmt = Format.std_formatter in
+  let started = Unix.gettimeofday () in
+  e.run fmt;
+  Format.fprintf fmt "[%s completed in %.1fs]@." e.id
+    (Unix.gettimeofday () -. started);
+  Format.pp_print_flush fmt ();
+  flush stdout
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+    Format.printf "Reproduction harness: instruction-set customization for \
+                   real-time embedded systems (DATE 2007)@.";
+    List.iter run_one Experiments.Registry.all
+  | _ :: [ "--list" ] -> usage ()
+  | _ :: ids ->
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | Some e -> run_one e
+        | None ->
+          Format.eprintf "unknown experiment id: %s@." id;
+          usage ();
+          exit 1)
+      ids

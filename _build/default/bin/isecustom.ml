@@ -1,0 +1,239 @@
+(* isecustom — command-line front end for the instruction-set
+   customization toolchain.
+
+   Subcommands:
+     kernels                      list the modelled benchmark kernels
+     curve <kernel>               configuration curve (identify + select)
+     select <kernels...>          optimal inter-task selection (EDF/RMS)
+     iterate <kernels...>         Chapter 5 iterative customization
+     pareto <kernel>              exact / approximate workload-area fronts
+     experiment <id>              run one experiment from the registry *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+
+let kernels_cmd =
+  let run () =
+    Format.fprintf fmt "%-14s %-14s %-8s %-8s@." "kernel" "wcet" "max bb" "avg bb";
+    List.iter
+      (fun (name, cfg) ->
+        Format.fprintf fmt "%-14s %-14d %-8d %-8.1f@." name (Ir.Cfg.wcet cfg)
+          (Ir.Cfg.max_block_size cfg) (Ir.Cfg.avg_block_size cfg))
+      (Kernels.all ());
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v (Cmd.info "kernels" ~doc:"List the modelled benchmark kernels.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let kernel_arg =
+  let doc = "Benchmark kernel name (see $(b,kernels))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let kernel_list_arg =
+  let doc = "Benchmark kernel names (see $(b,kernels))." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"KERNEL" ~doc)
+
+let resolve name =
+  match Kernels.find name with
+  | cfg -> cfg
+  | exception Not_found ->
+    Format.eprintf "unknown kernel %s; try `isecustom kernels'@." name;
+    exit 1
+
+let curve_cmd =
+  let run name =
+    let cfg = resolve name in
+    let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+    Format.fprintf fmt "%-16s %-14s %s@." "area (adders)" "cycles" "speedup";
+    let base = float_of_int (Isa.Config.base_cycles curve) in
+    Array.iter
+      (fun (p : Isa.Config.point) ->
+        Format.fprintf fmt "%-16.1f %-14d %.3fx@."
+          (Isa.Hw_model.adders_of_units p.area)
+          p.cycles
+          (base /. float_of_int p.cycles))
+      (Isa.Config.points curve);
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "curve"
+       ~doc:"Generate a kernel's configuration curve (identification + selection).")
+    Term.(const run $ kernel_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let utilization_arg =
+  let doc = "Target software-only utilization of the task set." in
+  Arg.(value & opt float 1.1 & info [ "u"; "utilization" ] ~docv:"U" ~doc)
+
+let budget_arg =
+  let doc = "Area budget as a fraction of the summed maximum areas." in
+  Arg.(value & opt float 0.5 & info [ "b"; "budget" ] ~docv:"FRACTION" ~doc)
+
+let policy_arg =
+  let doc = "Scheduling policy: edf or rms." in
+  Arg.(value & opt (enum [ ("edf", `Edf); ("rms", `Rms) ]) `Edf
+       & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let select_cmd =
+  let run u budget_fraction policy names =
+    let tasks = Experiments.Curves.tasks_of ~u names in
+    let max_area = Experiments.Curves.max_area_of tasks in
+    let budget =
+      int_of_float (budget_fraction *. float_of_int max_area)
+    in
+    Format.fprintf fmt "task set: %s@." (String.concat ", " names);
+    Format.fprintf fmt "software utilization %.3f; budget %.1f adders@."
+      (Rt.Task.set_utilization tasks)
+      (Isa.Hw_model.adders_of_units budget);
+    (match policy with
+     | `Edf ->
+       let sel = Core.Edf_select.run ~budget tasks in
+       Format.fprintf fmt "%a@." Core.Selection.pp sel;
+       if sel.Core.Selection.utilization > 1. then
+         Format.fprintf fmt "not EDF-schedulable at this budget@."
+     | `Rms ->
+       (match Core.Rms_select.run ~budget tasks with
+        | Some sel -> Format.fprintf fmt "%a@." Core.Selection.pp sel
+        | None -> Format.fprintf fmt "not RMS-schedulable at this budget@."));
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "select"
+       ~doc:"Optimal inter-task custom-instruction selection (Chapter 3).")
+    Term.(const run $ utilization_arg $ budget_arg $ policy_arg $ kernel_list_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let iterate_cmd =
+  let run u names =
+    let inputs =
+      Iterative.Driver.tasks_of_kernels ~u
+        (List.map (fun n -> (n, resolve n)) names)
+    in
+    let result = Iterative.Driver.run inputs in
+    List.iter
+      (fun (it : Iterative.Driver.iteration) ->
+        Format.fprintf fmt "iteration %d: customized %-12s U=%.4f area=%.1f adders@."
+          it.index it.task it.utilization
+          (Isa.Hw_model.adders_of_units it.area))
+      result.Iterative.Driver.iterations;
+    Format.fprintf fmt "final: U=%.4f (%s), %d custom instructions, %.1f adders@."
+      result.Iterative.Driver.utilization
+      (if result.Iterative.Driver.schedulable then "schedulable" else "infeasible")
+      result.Iterative.Driver.instruction_count
+      (Isa.Hw_model.adders_of_units result.Iterative.Driver.total_area);
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "iterate"
+       ~doc:"Iterative top-down customization until the task set schedules \
+             (Chapter 5).")
+    Term.(const run $ utilization_arg $ kernel_list_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let eps_arg =
+  let doc = "Approximation parameter epsilon; omit for the exact front." in
+  Arg.(value & opt (some float) None & info [ "e"; "eps" ] ~docv:"EPS" ~doc)
+
+let pareto_cmd =
+  let run eps name =
+    ignore (resolve name);
+    let workload, front = Pareto.Stages.Intra.of_task ?eps (resolve name) in
+    Format.fprintf fmt "%s: workload %d cycles, %d front points%s@." name workload
+      (List.length front)
+      (match eps with
+       | Some e -> Printf.sprintf " (eps = %.2f)" e
+       | None -> " (exact)");
+    List.iter
+      (fun (p : Util.Pareto_front.point) ->
+        Format.fprintf fmt "  area %-8.1f -> %.0f cycles@."
+          (Isa.Hw_model.adders_of_units p.cost)
+          p.value)
+      front;
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Workload-area Pareto front of a kernel, exact or \
+             epsilon-approximate (Chapter 4).")
+    Term.(const run $ eps_arg $ kernel_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let run name =
+    let cfg = resolve name in
+    let blocks = Ir.Cfg.blocks cfg in
+    let big =
+      List.fold_left
+        (fun acc (b : Ir.Cfg.block) ->
+          if Ir.Dfg.node_count b.Ir.Cfg.body > Ir.Dfg.node_count acc.Ir.Cfg.body
+          then b
+          else acc)
+        (List.hd blocks) blocks
+    in
+    let cis = Iterative.Mlgp.cover_dfg big.Ir.Cfg.body in
+    let highlight =
+      List.mapi
+        (fun i (ci : Isa.Custom_inst.t) ->
+          (ci.Isa.Custom_inst.nodes, Printf.sprintf "CI%d (gain %d)" i (Isa.Custom_inst.gain ci)))
+        cis
+    in
+    print_string (Ir.Dot.dfg ~highlight big.Ir.Cfg.body)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit Graphviz for a kernel's largest block with its MLGP \
+             custom instructions highlighted.")
+    Term.(const run $ kernel_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (e.g. f3.3); use --list to enumerate." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
+  in
+  let run list id =
+    if list then
+      List.iter
+        (fun (e : Experiments.Registry.experiment) ->
+          Format.fprintf fmt "%-8s %s@." e.id e.title)
+        Experiments.Registry.all
+    else
+      match id with
+      | None ->
+        Format.eprintf "an experiment id or --list is required@.";
+        exit 1
+      | Some id ->
+        (match Experiments.Registry.find id with
+         | Some e -> e.run fmt
+         | None ->
+           Format.eprintf "unknown experiment %s@." id;
+           exit 1);
+        Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one experiment from the evaluation registry.")
+    Term.(const run $ list_arg $ id_arg)
+
+let () =
+  let info =
+    Cmd.info "isecustom" ~version:"1.0.0"
+      ~doc:"Instruction-set customization for real-time embedded systems."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
+            dot_cmd; experiment_cmd ]))

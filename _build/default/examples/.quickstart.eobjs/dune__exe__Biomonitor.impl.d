@@ -1,0 +1,1 @@
+examples/biomonitor.ml: Array Float Format Ir Isa Ise List Util

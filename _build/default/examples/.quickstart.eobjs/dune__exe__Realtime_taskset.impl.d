@@ -1,0 +1,1 @@
+examples/realtime_taskset.ml: Core Format Isa Ise Kernels List Printf Rt String Util

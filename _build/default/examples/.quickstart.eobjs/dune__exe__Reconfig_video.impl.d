@@ -1,0 +1,1 @@
+examples/reconfig_video.ml: Array Format Ir Isa Ise Kernels List Reconfig Util

@@ -1,0 +1,82 @@
+(* Runtime reconfiguration for a video pipeline (the Chapter 6 use
+   case): the fabric is too small for every stage's custom instructions
+   at once, so the partitioning algorithm clubs them into
+   configurations that are swapped as the frame moves through the
+   pipeline.
+
+   Run with: dune exec examples/reconfig_video.exe *)
+
+let () =
+  let fmt = Format.std_formatter in
+  (* Hot loops of a motion-JPEG-style encoder, with custom-instruction
+     set versions produced by the identification/selection pipeline on
+     representative blocks. *)
+  let prng = Util.Prng.create 42 in
+  let mk_loop name mix size iterations =
+    let dfg = Kernels.Blockgen.block prng ~loads:4 ~stores:2 ~size mix in
+    let cfg = { Ir.Cfg.name; code = Ir.Cfg.loop iterations (Ir.Cfg.block "body" dfg) } in
+    let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+    let base = Isa.Config.base_cycles curve in
+    let versions =
+      Array.to_list (Isa.Config.points curve)
+      |> List.filter_map (fun (p : Isa.Config.point) ->
+             if p.area = 0 then None else Some (base - p.cycles, p.area))
+      |> List.sort_uniq compare
+    in
+    (* a handful of versions is enough to expose the trade-off *)
+    let n = List.length versions in
+    let stride = max 1 (n / 4) in
+    let sampled =
+      List.filteri (fun i _ -> i mod stride = 0 || i = n - 1) versions
+      |> List.sort_uniq compare
+    in
+    Reconfig.Problem.loop name sampled
+  in
+  let loops =
+    [ mk_loop "motion_est" Kernels.Blockgen.dsp_mix 96 128;
+      mk_loop "dct" Kernels.Blockgen.dsp_mix 72 256;
+      mk_loop "quant" Kernels.Blockgen.control_mix 28 256;
+      mk_loop "entropy" Kernels.Blockgen.control_mix 44 128;
+      mk_loop "deblock" Kernels.Blockgen.dsp_mix 56 64 ]
+  in
+  List.iter
+    (fun (l : Reconfig.Problem.hot_loop) ->
+      Format.fprintf fmt "%-12s versions:" l.name;
+      Array.iteri
+        (fun i (v : Reconfig.Problem.version) ->
+          if i > 0 then Format.fprintf fmt " %d cycles/%.0f adders"
+              v.gain (Isa.Hw_model.adders_of_units v.area))
+        l.versions;
+      Format.fprintf fmt "@.")
+    loops;
+
+  (* Batch-mode frame processing (the thesis's Figure 6.2 scenario): each
+     stage sweeps all macroblock rows before the next stage starts, so
+     stage switches — the only reconfiguration points — happen a handful
+     of times per frame. *)
+  let stage name = List.init 16 (fun _ -> name) in
+  let frame =
+    stage "motion_est" @ stage "dct" @ stage "quant" @ stage "entropy"
+    @ stage "deblock"
+  in
+  let trace = Ir.Trace.repeat frame 30 in
+  Format.fprintf fmt "trace: %d loop activations@." (Ir.Trace.length trace);
+
+  List.iter
+    (fun (max_area, reconfig_cost) ->
+      let p = { Reconfig.Problem.loops; trace; max_area; reconfig_cost } in
+      let show label placement =
+        Format.fprintf fmt "  %-10s net gain %-8d (%d configurations, %d reloads)@."
+          label
+          (Reconfig.Problem.net_gain p placement)
+          (Reconfig.Problem.num_configs placement)
+          (Reconfig.Problem.reconfigurations p placement)
+      in
+      Format.fprintf fmt "@.fabric %.0f adders, reload cost %d cycles:@."
+        (Isa.Hw_model.adders_of_units max_area) reconfig_cost;
+      show "greedy" (Reconfig.Algorithms.greedy p);
+      show "iterative" (Reconfig.Algorithms.iterative p);
+      match Reconfig.Algorithms.exhaustive p with
+      | Some placement -> show "optimal" placement
+      | None -> Format.fprintf fmt "  optimal    (too many loops)@.")
+    [ (250, 20); (600, 200); (600, 20_000); (1500, 200) ]

@@ -1,0 +1,1 @@
+lib/core/edf_select.ml: Array Isa List Rt Selection Util

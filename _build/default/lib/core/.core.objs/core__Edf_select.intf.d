@@ -1,0 +1,1 @@
+lib/core/edf_select.mli: Rt Selection

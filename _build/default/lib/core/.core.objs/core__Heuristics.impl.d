@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Float Isa List Rt Selection

@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Rt Selection

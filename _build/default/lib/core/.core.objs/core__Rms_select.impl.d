@@ -1,0 +1,1 @@
+lib/core/rms_select.ml: Array Isa List Option Rt Selection

@@ -1,0 +1,1 @@
+lib/core/rms_select.mli: Rt Selection

@@ -1,0 +1,1 @@
+lib/core/selection.ml: Array Format Isa List Rt Util

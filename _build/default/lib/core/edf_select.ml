@@ -1,0 +1,82 @@
+let granularity ~budget tasks =
+  let areas =
+    List.concat_map
+      (fun (t : Rt.Task.t) ->
+        Array.to_list (Isa.Config.points t.curve)
+        |> List.filter_map (fun (p : Isa.Config.point) ->
+               if p.area > 0 then Some p.area else None))
+      tasks
+  in
+  max 1 (Util.Numeric.gcd_list (budget :: areas))
+
+let run ~budget tasks =
+  if budget < 0 then invalid_arg "Edf_select.run: negative budget";
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if n = 0 then Selection.of_assignment []
+  else begin
+    let delta = granularity ~budget (Array.to_list tasks) in
+    let cells = (budget / delta) + 1 in
+    (* u.(a) = best utilization of the processed prefix with area budget
+       a·Δ; choice.(i).(a) = configuration index picked for task i. *)
+    let u = Array.make cells 0. in
+    let choice = Array.make_matrix n cells 0 in
+    for i = 0 to n - 1 do
+      let task = tasks.(i) in
+      let points = Isa.Config.points task.curve in
+      let prev = Array.copy u in
+      for cell = 0 to cells - 1 do
+        let best = ref infinity and best_j = ref 0 in
+        Array.iteri
+          (fun j (p : Isa.Config.point) ->
+            if p.area <= cell * delta then begin
+              let rest = prev.((cell * delta - p.area) / delta) in
+              let total = (float_of_int p.cycles /. float_of_int task.period) +. rest in
+              if total < !best then begin
+                best := total;
+                best_j := j
+              end
+            end)
+          points;
+        u.(cell) <- !best;
+        choice.(i).(cell) <- !best_j
+      done
+    done;
+    (* Recover the assignment by walking the parent pointers backwards. *)
+    let assignment = ref [] in
+    let cell = ref (cells - 1) in
+    for i = n - 1 downto 0 do
+      let task = tasks.(i) in
+      let j = choice.(i).(!cell) in
+      let p = (Isa.Config.points task.curve).(j) in
+      assignment := (task, p) :: !assignment;
+      cell := !cell - (p.Isa.Config.area / delta)
+    done;
+    Selection.of_assignment !assignment
+  end
+
+let run_schedulable ~budget tasks =
+  let sel = run ~budget tasks in
+  if sel.Selection.utilization <= 1. then Some sel else None
+
+let exhaustive ~budget tasks =
+  let rec explore acc = function
+    | [] ->
+      let sel = Selection.of_assignment (List.rev acc) in
+      if sel.Selection.area <= budget then Some sel else None
+    | (task : Rt.Task.t) :: rest ->
+      Array.fold_left
+        (fun best p ->
+          match explore ((task, p) :: acc) rest with
+          | None -> best
+          | Some sel ->
+            (match best with
+             | None -> Some sel
+             | Some b ->
+               if sel.Selection.utilization < b.Selection.utilization then Some sel
+               else best))
+        None (Isa.Config.points task.curve)
+  in
+  match explore [] tasks with
+  | Some sel -> sel
+  | None -> Selection.software tasks

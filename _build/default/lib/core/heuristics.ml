@@ -1,0 +1,63 @@
+type strategy =
+  | Equal_division
+  | Smallest_deadline_first
+  | Highest_reduction_first
+  | Best_ratio_first
+
+let all =
+  [ Equal_division; Smallest_deadline_first; Highest_reduction_first;
+    Best_ratio_first ]
+
+let name = function
+  | Equal_division -> "equal-area-division"
+  | Smallest_deadline_first -> "smallest-deadline-first"
+  | Highest_reduction_first -> "highest-utilization-reduction-first"
+  | Best_ratio_first -> "best-reduction/area-ratio-first"
+
+let best_reduction (task : Rt.Task.t) =
+  Rt.Task.utilization task
+  -. float_of_int (Isa.Config.min_cycles task.curve) /. float_of_int task.period
+
+let best_ratio (task : Rt.Task.t) =
+  Array.fold_left
+    (fun acc (p : Isa.Config.point) ->
+      if p.area = 0 then acc
+      else
+        let reduction = Rt.Task.utilization task -. Rt.Task.utilization_at task p in
+        Float.max acc (reduction /. float_of_int p.area))
+    0.
+    (Isa.Config.points task.curve)
+
+let serve_in_order order ~budget tasks =
+  let ordered = List.stable_sort order tasks in
+  let remaining = ref budget in
+  let picks =
+    List.map
+      (fun (task : Rt.Task.t) ->
+        let p = Isa.Config.best_at task.curve !remaining in
+        remaining := !remaining - p.Isa.Config.area;
+        (task, p))
+      ordered
+  in
+  (* Restore the caller's task order for readability. *)
+  let find t = List.assq t picks in
+  Selection.of_assignment (List.map (fun t -> (t, find t)) tasks)
+
+let run strategy ~budget tasks =
+  match strategy with
+  | Equal_division ->
+    let share = budget / max 1 (List.length tasks) in
+    Selection.of_assignment
+      (List.map
+         (fun (task : Rt.Task.t) -> (task, Isa.Config.best_at task.curve share))
+         tasks)
+  | Smallest_deadline_first ->
+    serve_in_order
+      (fun (a : Rt.Task.t) (b : Rt.Task.t) -> compare a.period b.period)
+      ~budget tasks
+  | Highest_reduction_first ->
+    serve_in_order
+      (fun a b -> compare (best_reduction b) (best_reduction a))
+      ~budget tasks
+  | Best_ratio_first ->
+    serve_in_order (fun a b -> compare (best_ratio b) (best_ratio a)) ~budget tasks

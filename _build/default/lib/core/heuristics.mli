@@ -1,0 +1,25 @@
+(** The per-task heuristic baselines of the motivating example
+    (Figure 3.2): customizing tasks in isolation misses solutions the
+    optimal inter-task selection finds.
+
+    Each strategy allocates the shared area budget without a global
+    view: either by splitting it equally, or by fully serving tasks one
+    at a time in some priority order.  The experiments show these fail
+    on task sets the DP/branch-and-bound schedules. *)
+
+type strategy =
+  | Equal_division
+      (** ⌊budget/N⌋ to every task, each customized independently *)
+  | Smallest_deadline_first
+      (** serve tasks in increasing period order *)
+  | Highest_reduction_first
+      (** serve tasks by largest achievable utilization reduction *)
+  | Best_ratio_first
+      (** serve tasks by best reduction-per-area ratio *)
+
+val all : strategy list
+val name : strategy -> string
+
+val run : strategy -> budget:int -> Rt.Task.t list -> Selection.t
+(** Greedy assignment under the strategy; each served task takes its
+    maximum-reduction configuration that fits its remaining share. *)

@@ -1,0 +1,43 @@
+(** Optimal customization under RMS scheduling — Algorithm 2 of the
+    paper (thesis §3.1.4).
+
+    RMS has no utilization-only exact test, so the selection is a
+    branch-and-bound over the tree of per-task configuration choices,
+    visited in decreasing priority (increasing period) order.  Pruning:
+
+    - area budget exceeded at a node → prune the subtree;
+    - task Tᵢ fails the exact schedulability test (Theorem 1's Lᵢ ≤ 1,
+      which only depends on T₁..Tᵢ thanks to the traversal order) →
+      prune;
+    - optimistic bound (chosen utilizations + best-possible utilizations
+      of the remaining tasks, ignoring area) ≥ incumbent → prune.
+
+    Configurations are tried fastest-first so a good incumbent appears
+    early. *)
+
+val run : budget:int -> Rt.Task.t list -> Selection.t option
+(** Minimum-utilization RMS-schedulable assignment within the budget;
+    [None] when no assignment (including software-only) is
+    schedulable. *)
+
+type stats = {
+  explored : int;  (** search-tree nodes visited *)
+  pruned_bound : int;  (** subtrees cut by the optimistic bound *)
+  pruned_schedulability : int;  (** configurations failing the exact test *)
+  pruned_area : int;  (** configurations over the remaining budget *)
+}
+
+val run_instrumented :
+  ?use_bound:bool ->
+  ?fastest_first:bool ->
+  budget:int ->
+  Rt.Task.t list ->
+  Selection.t option * stats
+(** {!run} with pruning switches and search statistics, for the ablation
+    study: [use_bound] enables the optimistic lower-bound pruning,
+    [fastest_first] the minimum-execution-time visiting order the thesis
+    prescribes (both default true).  Disabling them never changes the
+    returned optimum, only the work done — a property the tests check. *)
+
+val exhaustive : budget:int -> Rt.Task.t list -> Selection.t option
+(** Brute-force oracle for small instances. *)

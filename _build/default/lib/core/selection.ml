@@ -1,0 +1,41 @@
+type t = {
+  assignment : (Rt.Task.t * Isa.Config.point) list;
+  utilization : float;
+  area : int;
+}
+
+let of_assignment assignment =
+  { assignment;
+    utilization =
+      Util.Numeric.sum_byf
+        (fun (task, point) -> Rt.Task.utilization_at task point)
+        assignment;
+    area =
+      Util.Numeric.sum_by (fun (_, point) -> point.Isa.Config.area) assignment }
+
+let software tasks =
+  of_assignment
+    (List.map
+       (fun (task : Rt.Task.t) ->
+         (task, { Isa.Config.area = 0; cycles = task.wcet }))
+       tasks)
+
+let feasible ~budget t =
+  t.area <= budget
+  && List.for_all
+       (fun ((task : Rt.Task.t), point) ->
+         Array.exists (fun p -> p = point) (Isa.Config.points task.curve))
+       t.assignment
+
+(* Executed cycles per unit time is exactly the utilization (the common
+   hyperperiod factor cancels in every energy comparison). *)
+let cycles_per_hyperperiod t = t.utilization
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>selection: U=%.4f area=%.1f adders@,%a@]" t.utilization
+    (Isa.Hw_model.adders_of_units t.area)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       (fun fmt ((task : Rt.Task.t), (p : Isa.Config.point)) ->
+         Format.fprintf fmt "  %-12s -> area=%d cycles=%d (U=%.4f)" task.name
+           p.area p.cycles (Rt.Task.utilization_at task p)))
+    t.assignment

@@ -1,0 +1,27 @@
+(** Common types for inter-task custom-instruction selection
+    (thesis §3.1.1).
+
+    A solution assigns one configuration from each task's curve so that
+    the set is schedulable under the given policy, total area fits the
+    budget, and total utilization is minimal. *)
+
+type t = {
+  assignment : (Rt.Task.t * Isa.Config.point) list;
+  utilization : float;
+  area : int;  (** total silicon spent, deci-adders *)
+}
+
+val software : Rt.Task.t list -> t
+(** Every task in its area-0 configuration. *)
+
+val of_assignment : (Rt.Task.t * Isa.Config.point) list -> t
+(** Compute utilization and area for a full assignment. *)
+
+val feasible : budget:int -> t -> bool
+(** Within budget and each point belongs to its task's curve. *)
+
+val cycles_per_hyperperiod : t -> float
+(** Σ (H/Pᵢ)·cᵢ over the hyperperiod H — the energy accounting basis.
+    Computed in floating point to avoid hyperperiod overflow. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Core Curves Float Ir Isa Ise Iterative Kernels List Printf Reconfig Report Util

@@ -1,0 +1,1 @@
+lib/experiments/ch3.ml: Array Core Curves Hashtbl Isa List Option Printf Report Rt String Util

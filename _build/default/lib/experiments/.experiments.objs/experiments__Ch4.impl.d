@@ -1,0 +1,1 @@
+lib/experiments/ch4.ml: Array Curves Float Isa List Pareto Printf Report Rt String Util

@@ -1,0 +1,1 @@
+lib/experiments/ch5.ml: Curves Hashtbl Ir Isa Iterative Kernels List Printf Report String Unix Util

@@ -1,0 +1,1 @@
+lib/experiments/ch6.ml: Array Float Ir Isa Ise Kernels List Option Printf Reconfig Report String Util

@@ -1,0 +1,1 @@
+lib/experiments/ch7.ml: Array Curves Float Isa List Printf Report Rtreconfig String Util

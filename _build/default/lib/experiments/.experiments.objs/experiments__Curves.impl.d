@@ -1,0 +1,1 @@
+lib/experiments/curves.ml: Hashtbl Isa Ise Kernels List Printf Rt Util

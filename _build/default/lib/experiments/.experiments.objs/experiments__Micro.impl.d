@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Analyze Bechamel Benchmark Ch7 Core Hashtbl Instance Isa Iterative Kernels List Measure Printf Reconfig Report Rt Rtreconfig Staged Test Time Toolkit Util

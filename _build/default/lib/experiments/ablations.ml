@@ -1,0 +1,130 @@
+(* Ablation studies for the design choices DESIGN.md calls out.  These
+   have no direct counterpart in the thesis's tables; they quantify why
+   each mechanism is there. *)
+
+(* A1: the MLGP uncoarsening refinement (Algorithm 5). *)
+let mlgp_refinement fmt =
+  Report.banner fmt ~id:"A1"
+    "ablation: MLGP with and without uncoarsening refinement";
+  Report.row fmt
+    [ Report.cell ~width:12 "kernel"; Report.cellr ~width:14 "gain (refine)";
+      Report.cellr ~width:16 "gain (no refine)"; Report.cellr ~width:10 "delta";
+      Report.cellr ~width:12 "time (s)" ];
+  List.iter
+    (fun name ->
+      let cfg = Kernels.find name in
+      let blocks = Ir.Cfg.blocks cfg in
+      let big =
+        List.fold_left
+          (fun acc (b : Ir.Cfg.block) ->
+            if Ir.Dfg.node_count b.body > Ir.Dfg.node_count acc.Ir.Cfg.body then b
+            else acc)
+          (List.hd blocks) blocks
+      in
+      let gain_of cis = Util.Numeric.sum_by Isa.Custom_inst.gain cis in
+      let with_r, t_with =
+        Report.timed (fun () -> Iterative.Mlgp.cover_dfg ~refine:true big.body)
+      in
+      let without_r, _ =
+        Report.timed (fun () -> Iterative.Mlgp.cover_dfg ~refine:false big.body)
+      in
+      let g1 = gain_of with_r and g0 = gain_of without_r in
+      Report.row fmt
+        [ Report.cell ~width:12 name;
+          Report.cellr ~width:14 (string_of_int g1);
+          Report.cellr ~width:16 (string_of_int g0);
+          Report.cellr ~width:10
+            (Printf.sprintf "%+.1f%%"
+               (100. *. float_of_int (g1 - g0) /. Float.max 1. (float_of_int g0)));
+          Report.cellr ~width:12 (Printf.sprintf "%.2f" t_with) ])
+    [ "sha"; "rijndael"; "blowfish"; "aes"; "adpcm_enc" ]
+
+(* A2: pruning in the RMS branch-and-bound (Algorithm 2). *)
+let rms_pruning fmt =
+  Report.banner fmt ~id:"A2"
+    "ablation: RMS branch-and-bound pruning (explored nodes)";
+  Report.row fmt
+    [ Report.cell ~width:10 "task set"; Report.cellr ~width:14 "bound+order";
+      Report.cellr ~width:14 "bound only"; Report.cellr ~width:14 "order only";
+      Report.cellr ~width:14 "neither" ];
+  List.iter
+    (fun set ->
+      let tasks = Curves.tasks_of ~u:1.0 (Curves.taskset_ch3 set) in
+      let budget = Curves.max_area_of tasks / 2 in
+      let explored ~use_bound ~fastest_first =
+        let result, stats =
+          Core.Rms_select.run_instrumented ~use_bound ~fastest_first ~budget tasks
+        in
+        (result, stats.Core.Rms_select.explored)
+      in
+      let full, e_full = explored ~use_bound:true ~fastest_first:true in
+      let bound_only, e_bound = explored ~use_bound:true ~fastest_first:false in
+      let order_only, e_order = explored ~use_bound:false ~fastest_first:true in
+      let neither, e_none = explored ~use_bound:false ~fastest_first:false in
+      (* all variants must agree on the optimum *)
+      let u = function
+        | Some (s : Core.Selection.t) -> s.utilization
+        | None -> infinity
+      in
+      assert (Float.abs (u full -. u neither) < 1e-9);
+      assert (Float.abs (u bound_only -. u order_only) < 1e-9);
+      Report.row fmt
+        [ Report.cell ~width:10 (string_of_int set);
+          Report.cellr ~width:14 (string_of_int e_full);
+          Report.cellr ~width:14 (string_of_int e_bound);
+          Report.cellr ~width:14 (string_of_int e_order);
+          Report.cellr ~width:14 (string_of_int e_none) ])
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* A3: the balance-tolerance portfolio in the temporal phase. *)
+let reconfig_portfolio fmt =
+  Report.banner fmt ~id:"A3"
+    "ablation: temporal-partitioning balance portfolio (net gain)";
+  Report.row fmt
+    [ Report.cellr ~width:6 "loops"; Report.cellr ~width:16 "balanced only";
+      Report.cellr ~width:14 "portfolio"; Report.cellr ~width:10 "delta" ];
+  List.iter
+    (fun n ->
+      let p = Reconfig.Synthetic.generate ~seed:(2000 + n) ~loops:n in
+      let balanced =
+        Reconfig.Problem.net_gain p
+          (Reconfig.Algorithms.iterative ~imbalances:[ 0.25 ] p)
+      in
+      let portfolio =
+        Reconfig.Problem.net_gain p (Reconfig.Algorithms.iterative p)
+      in
+      Report.row fmt
+        [ Report.cellr ~width:6 (string_of_int n);
+          Report.cellr ~width:16 (string_of_int balanced);
+          Report.cellr ~width:14 (string_of_int portfolio);
+          Report.cellr ~width:10
+            (Printf.sprintf "%+.1f%%"
+               (100. *. float_of_int (portfolio - balanced)
+                /. Float.max 1. (float_of_int balanced))) ])
+    [ 5; 8; 9; 11; 14; 20 ]
+
+(* A4: identification budget vs curve quality. *)
+let enumeration_budget fmt =
+  Report.banner fmt ~id:"A4"
+    "ablation: identification budget vs configuration-curve quality";
+  Report.row fmt
+    [ Report.cell ~width:12 "budget"; Report.cellr ~width:12 "explored";
+      Report.cellr ~width:14 "best speedup"; Report.cellr ~width:12 "time (s)" ];
+  let cfg = Kernels.find "lms" in
+  List.iter
+    (fun (label, budget) ->
+      let curve, elapsed =
+        Report.timed (fun () -> Ise.Curve.generate ~budget cfg)
+      in
+      Report.row fmt
+        [ Report.cell ~width:12 label;
+          Report.cellr ~width:12 (string_of_int budget.Ise.Enumerate.max_explored);
+          Report.cellr ~width:14
+            (Printf.sprintf "%.3fx"
+               (float_of_int (Isa.Config.base_cycles curve)
+                /. float_of_int (Isa.Config.min_cycles curve)));
+          Report.cellr ~width:12 (Printf.sprintf "%.2f" elapsed) ])
+    [ ("tiny", { Ise.Enumerate.max_size = 4; max_explored = 500; max_candidates = 50 });
+      ("small", Ise.Enumerate.small_budget);
+      ("default", Ise.Enumerate.default_budget);
+      ("large", { Ise.Enumerate.max_size = 16; max_explored = 200_000; max_candidates = 10_000 }) ]

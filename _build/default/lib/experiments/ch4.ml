@@ -1,0 +1,138 @@
+(* Chapter 4 — approximate Pareto fronts (§4.3). *)
+
+(* Chapter 4 measures areas at fine granularity (the thesis reports gate
+   counts); we scale deci-adder areas by 400 so that the exact DP's
+   pseudo-polynomial cost range dominates, which is the regime the
+   published exact-vs-approximate timing comparison (Table 4.2) was run
+   in. *)
+let area_scale = 400
+let max_candidates_per_task = 32
+let epsilons = [ 0.21; 0.44; 0.69; 3.0 ]
+
+let intra_entities name =
+  (* conflict-free filtering happens inside Stages.Intra.entities; cap the
+     number of surviving (disjoint) candidates afterwards *)
+  Pareto.Stages.Intra.entities (Curves.candidates name)
+  |> List.filteri (fun i _ -> i < max_candidates_per_task)
+  |> List.map
+       (Array.map (fun (o : Pareto.Mo_select.option_) ->
+            { o with cost = o.cost * area_scale }))
+
+let workload name = Isa.Config.base_cycles (Curves.curve name)
+
+let sample_front max_points front =
+  let n = List.length front in
+  if n <= max_points then front
+  else
+    let stride = (n + max_points - 1) / max_points in
+    List.filteri (fun i _ -> i mod stride = 0 || i = n - 1) front
+
+(* Build the inter-task stage input for a task set, using the supplied
+   intra-stage solver. *)
+let inter_input ~intra_front ~u names =
+  let tasks = Curves.tasks_of ~u names in
+  List.map
+    (fun (t : Rt.Task.t) ->
+      { Pareto.Stages.Inter.period = t.period;
+        workload = t.wcet;
+        front = sample_front 40 (intra_front t.name) })
+    tasks
+
+let exact_intra name =
+  Pareto.Mo_select.exact_front
+    ~base:(float_of_int (workload name))
+    (intra_entities name)
+
+let approx_intra ~eps name =
+  Pareto.Mo_select.approx_front ~eps
+    ~base:(float_of_int (workload name))
+    (intra_entities name)
+
+let table_4_1 fmt =
+  Report.banner fmt ~id:"Table 4.1" "composition of the task sets";
+  for i = 1 to 5 do
+    Report.row fmt
+      [ Report.cell ~width:8 (string_of_int i);
+        String.concat ", " (Curves.taskset_ch4 i) ]
+  done;
+  Report.row fmt [ "(ispell is substituted by md5 — see DESIGN.md)" ]
+
+let table_4_2 fmt =
+  Report.banner fmt ~id:"Table 4.2"
+    "speedup of the approximation scheme over the exact Pareto computation";
+  Report.row fmt
+    (Report.cell ~width:10 "task set"
+     :: Report.cellr ~width:12 "exact (s)"
+     :: List.map (fun e -> Report.cellr ~width:12 (Printf.sprintf "eps=%.2f" e)) epsilons);
+  for set = 1 to 5 do
+    let names = Curves.taskset_ch4 set in
+    (* warm the caches so timing measures the Pareto stages only *)
+    List.iter (fun n -> ignore (Curves.candidates n); ignore (Curves.curve n)) names;
+    let exact_result, exact_time =
+      Report.timed (fun () ->
+          let input = inter_input ~intra_front:exact_intra ~u:1.0 names in
+          Pareto.Stages.Inter.exact input)
+    in
+    let cells =
+      List.map
+        (fun eps ->
+          let _, approx_time =
+            Report.timed (fun () ->
+                let input =
+                  inter_input ~intra_front:(approx_intra ~eps) ~u:1.0 names
+                in
+                Pareto.Stages.Inter.approx ~eps input)
+          in
+          Report.cellr ~width:12
+            (Printf.sprintf "%.0fx" (exact_time /. Float.max 1e-6 approx_time)))
+        epsilons
+    in
+    ignore exact_result;
+    Report.row fmt
+      (Report.cell ~width:10 (string_of_int set)
+       :: Report.cellr ~width:12 (Printf.sprintf "%.2f" exact_time)
+       :: cells)
+  done;
+  Report.row fmt [ "paper: 643x-89285x (larger eps => larger speedup)" ]
+
+let pp_front fmt label front =
+  Report.row fmt
+    [ Report.cell ~width:24 label;
+      Printf.sprintf "%d points" (List.length front) ];
+  List.iteri
+    (fun i (p : Util.Pareto_front.point) ->
+      if i < 12 then
+        Report.row fmt
+          [ Report.cell ~width:24 "";
+            (if Float.abs p.value < 100. then Printf.sprintf "(%d, %.4f)" p.cost p.value
+             else Printf.sprintf "(%d, %.0f)" p.cost p.value) ])
+    front;
+  if List.length front > 12 then Report.row fmt [ Report.cell ~width:24 ""; "..." ]
+
+let figure_4_4 fmt =
+  Report.banner fmt ~id:"Figure 4.4" "exact vs approximate Pareto curves";
+  let exact = exact_intra "g721decode" in
+  pp_front fmt "g721decode exact" exact;
+  List.iter
+    (fun eps ->
+      let approx = approx_intra ~eps "g721decode" in
+      pp_front fmt (Printf.sprintf "g721decode eps=%.2f" eps) approx;
+      Report.row fmt
+        [ Report.cell ~width:24 "";
+          Printf.sprintf "eps-covers exact: %b  (%.0f%% fewer points)"
+            (Util.Pareto_front.eps_covers ~eps ~exact approx)
+            (100.
+             *. (1.
+                 -. (float_of_int (List.length approx)
+                     /. float_of_int (max 1 (List.length exact))))) ])
+    [ 0.69; 3.0 ];
+  let names = Curves.taskset_ch4 1 in
+  let input = inter_input ~intra_front:exact_intra ~u:1.0 names in
+  let exact_inter = Pareto.Stages.Inter.exact input in
+  pp_front fmt "task set 1 exact" exact_inter;
+  List.iter
+    (fun eps ->
+      let input_a = inter_input ~intra_front:(approx_intra ~eps) ~u:1.0 names in
+      let approx = Pareto.Stages.Inter.approx ~eps input_a in
+      pp_front fmt (Printf.sprintf "task set 1 eps=%.2f" eps) approx)
+    [ 0.69; 3.0 ]

@@ -1,0 +1,54 @@
+let curve_table : (string, Isa.Config.t) Hashtbl.t = Hashtbl.create 32
+let candidate_table : (string, Ise.Select.candidate list) Hashtbl.t = Hashtbl.create 32
+
+let curve name =
+  match Hashtbl.find_opt curve_table name with
+  | Some c -> c
+  | None ->
+    let c =
+      Ise.Curve.generate ~budget:Ise.Enumerate.small_budget (Kernels.find name)
+    in
+    Hashtbl.add curve_table name c;
+    c
+
+let candidates name =
+  match Hashtbl.find_opt candidate_table name with
+  | Some c -> c
+  | None ->
+    let c =
+      Ise.Curve.candidates ~budget:Ise.Enumerate.small_budget (Kernels.find name)
+    in
+    Hashtbl.add candidate_table name c;
+    c
+
+let taskset_ch3 = function
+  | 1 -> [ "crc32"; "sha"; "jpeg_dec"; "blowfish" ]
+  | 2 -> [ "blowfish"; "adpcm_dec"; "crc32"; "jpeg_enc" ]
+  | 3 -> [ "adpcm_enc"; "blowfish"; "jpeg_dec"; "crc32" ]
+  | 4 -> [ "sha"; "susan"; "crc32"; "g721encode" ]
+  | 5 -> [ "adpcm_dec"; "jpeg_dec"; "crc32"; "blowfish" ]
+  | 6 -> [ "crc32"; "sha"; "blowfish"; "susan" ]
+  | n -> invalid_arg (Printf.sprintf "taskset_ch3: no task set %d" n)
+
+let taskset_ch4 = function
+  | 1 -> [ "jpeg_enc"; "adpcm_enc"; "aes"; "compress"; "rijndael"; "md5" ]
+  | 2 -> [ "jpeg_dec"; "g721decode"; "jpeg_enc"; "md5"; "adpcm_enc"; "jfdctint"; "aes" ]
+  | 3 -> [ "jpeg_enc"; "md5"; "edn"; "sha"; "g721decode"; "jpeg_dec"; "compress"; "ndes" ]
+  | 4 -> [ "adpcm_enc"; "rijndael"; "jpeg_enc"; "md5"; "sha"; "ndes"; "jpeg_dec"; "compress"; "edn" ]
+  | 5 -> [ "aes"; "jpeg_dec"; "g721decode"; "rijndael"; "jfdctint"; "jpeg_enc"; "edn"; "md5"; "sha"; "ndes" ]
+  | n -> invalid_arg (Printf.sprintf "taskset_ch4: no task set %d" n)
+
+let taskset_ch5 = function
+  | 1 -> [ "3des"; "rijndael"; "sha"; "g721decode" ]
+  | 2 -> [ "sha"; "jfdctint"; "rijndael"; "ndes" ]
+  | 3 -> [ "ndes"; "g721decode"; "rijndael"; "sha" ]
+  | 4 -> [ "aes"; "3des"; "adpcm_enc"; "jfdctint" ]
+  | 5 -> [ "adpcm_enc"; "jfdctint"; "rijndael"; "sha" ]
+  | n -> invalid_arg (Printf.sprintf "taskset_ch5: no task set %d" n)
+
+let tasks_of ~u names =
+  List.map (fun name -> Rt.Task.make ~name ~period:1 (curve name)) names
+  |> Rt.Task.with_target_utilization u
+
+let max_area_of tasks =
+  Util.Numeric.sum_by (fun (t : Rt.Task.t) -> Isa.Config.max_area t.curve) tasks

@@ -1,0 +1,30 @@
+(** Memoized per-kernel configuration curves and the published task-set
+    compositions.
+
+    Curve generation (the XPRES substitute) is the expensive part of the
+    Chapter 3/4 experiments, so curves are computed once per kernel and
+    shared by every experiment in the process. *)
+
+val curve : string -> Isa.Config.t
+(** Configuration curve of a kernel by benchmark name (memoized). *)
+
+val candidates : string -> Ise.Select.candidate list
+(** Custom-instruction candidates of a kernel (memoized). *)
+
+val taskset_ch3 : int -> string list
+(** Composition of Table 3.1's task sets (1-based index 1..6). *)
+
+val taskset_ch4 : int -> string list
+(** Composition of Table 4.1's task sets (1..5).  The thesis's [ispell]
+    (Trimaran) benchmark is substituted by [md5] — see DESIGN.md. *)
+
+val taskset_ch5 : int -> string list
+(** Composition of Table 5.2's task sets (1..5). *)
+
+val tasks_of : u:float -> string list -> Rt.Task.t list
+(** Real-time tasks over the kernels' curves with periods set for a
+    total software utilization of [u] in equal shares (§3.2). *)
+
+val max_area_of : Rt.Task.t list -> int
+(** Σ of the tasks' maximum configuration areas — the Max_Area budget
+    reference of §3.2. *)

@@ -1,0 +1,64 @@
+(* Bechamel micro-benchmarks for the timing-sensitive algorithm kernels:
+   per-call costs of the selection/partitioning primitives that the
+   wall-clock tables (4.2, 6.1, 7.2) aggregate. *)
+
+open Bechamel
+open Toolkit
+
+let tests () =
+  let fig32_tasks =
+    let curve base pts = Isa.Config.of_points ~base_cycles:base pts in
+    [ Rt.Task.make ~name:"T1" ~period:6 (curve 2 [ { Isa.Config.area = 7; cycles = 1 } ]);
+      Rt.Task.make ~name:"T2" ~period:8 (curve 3 [ { Isa.Config.area = 6; cycles = 2 } ]);
+      Rt.Task.make ~name:"T3" ~period:12 (curve 6 [ { Isa.Config.area = 4; cycles = 5 } ]) ]
+  in
+  let reconfig_problem = Reconfig.Synthetic.generate ~seed:77 ~loops:12 in
+  let rt_instance =
+    Ch7.instance ~seed:7 ~n_tasks:4 ~max_area:400 ~reconfig_cost:2000 ~u:1.05
+  in
+  let dfg =
+    let prng = Util.Prng.create 5 in
+    Kernels.Blockgen.block prng ~loads:4 ~stores:2 ~size:120 Kernels.Blockgen.crypto_mix
+  in
+  [ Test.make ~name:"edf-select-dp (fig3.2)"
+      (Staged.stage (fun () -> ignore (Core.Edf_select.run ~budget:10 fig32_tasks)));
+    Test.make ~name:"rms-select-bnb (fig3.2)"
+      (Staged.stage (fun () -> ignore (Core.Rms_select.run ~budget:10 fig32_tasks)));
+    Test.make ~name:"rms-exact-test (3 tasks)"
+      (Staged.stage (fun () ->
+           ignore (Rt.Sched.rms_schedulable [ (1, 3); (1, 4); (1, 5) ])));
+    Test.make ~name:"mlgp-cover (120-op block)"
+      (Staged.stage (fun () -> ignore (Iterative.Mlgp.cover_dfg dfg)));
+    Test.make ~name:"reconfig-iterative (12 loops)"
+      (Staged.stage (fun () -> ignore (Reconfig.Algorithms.iterative reconfig_problem)));
+    Test.make ~name:"reconfig-greedy (12 loops)"
+      (Staged.stage (fun () -> ignore (Reconfig.Algorithms.greedy reconfig_problem)));
+    Test.make ~name:"rtreconfig-dp (4 tasks)"
+      (Staged.stage (fun () -> ignore (Rtreconfig.Solvers.dp rt_instance))) ]
+
+let run fmt =
+  Report.banner fmt ~id:"micro" "bechamel micro-benchmarks (ns per run, OLS)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          ignore name;
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Measure.run |]
+          in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+            Report.row fmt
+              [ Report.cell ~width:34 (Test.Elt.name (List.hd (Test.elements test)));
+                Report.cellr ~width:16 (Printf.sprintf "%.0f ns" ns) ]
+          | Some _ | None ->
+            Report.row fmt
+              [ Report.cell ~width:34 (Test.Elt.name (List.hd (Test.elements test)));
+                Report.cellr ~width:16 "n/a" ])
+        results)
+    (tests ())

@@ -1,0 +1,38 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let all =
+  [ { id = "t3.1"; title = "Table 3.1: composition of task sets"; run = Ch3.table_3_1 };
+    { id = "f3.1"; title = "Figure 3.1: performance vs area (g721)"; run = Ch3.figure_3_1 };
+    { id = "f3.2"; title = "Figure 3.2: heuristics vs optimal"; run = Ch3.figure_3_2 };
+    { id = "f3.3"; title = "Figure 3.3: utilization vs area (EDF/RMS)"; run = Ch3.figure_3_3 };
+    { id = "f3.4"; title = "Figure 3.4: energy vs area (task set 3)"; run = Ch3.figure_3_4 };
+    { id = "t4.1"; title = "Table 4.1: composition of task sets"; run = Ch4.table_4_1 };
+    { id = "t4.2"; title = "Table 4.2: approximation-scheme speedup"; run = Ch4.table_4_2 };
+    { id = "f4.4"; title = "Figure 4.4: exact vs approximate Pareto"; run = Ch4.figure_4_4 };
+    { id = "t5.1"; title = "Table 5.1: benchmark characteristics"; run = Ch5.table_5_1 };
+    { id = "t5.2"; title = "Table 5.2: task sets"; run = Ch5.table_5_2 };
+    { id = "f5.3"; title = "Figure 5.3: utilization vs iterations"; run = Ch5.figure_5_3 };
+    { id = "f5.4"; title = "Figure 5.4: analysis time and area vs U"; run = Ch5.figure_5_4 };
+    { id = "f5.5"; title = "Figure 5.5: speedup vs analysis time"; run = Ch5.figure_5_5 };
+    { id = "f5.6"; title = "Figure 5.6: area vs speedup"; run = Ch5.figure_5_6 };
+    { id = "t6.1"; title = "Table 6.1: algorithm running times"; run = Ch6.table_6_1 };
+    { id = "f6.4"; title = "Figure 6.4: motivating example"; run = Ch6.figure_6_4 };
+    { id = "f6.8"; title = "Figure 6.8: solution quality"; run = Ch6.figure_6_8 };
+    { id = "t6.2"; title = "Table 6.2: JPEG CIS versions"; run = Ch6.table_6_2 };
+    { id = "f6.10"; title = "Figure 6.10: JPEG solution quality"; run = Ch6.figure_6_10 };
+    { id = "t7.1"; title = "Table 7.1: CIS versions of the tasks"; run = Ch7.table_7_1 };
+    { id = "f7.4"; title = "Figure 7.4: DP vs Optimal vs Static"; run = Ch7.figure_7_4 };
+    { id = "t7.2"; title = "Table 7.2: Optimal vs DP running time"; run = Ch7.table_7_2 };
+    { id = "a1"; title = "Ablation: MLGP refinement"; run = Ablations.mlgp_refinement };
+    { id = "a2"; title = "Ablation: RMS B&B pruning"; run = Ablations.rms_pruning };
+    { id = "a3"; title = "Ablation: temporal balance portfolio"; run = Ablations.reconfig_portfolio };
+    { id = "a4"; title = "Ablation: identification budget"; run = Ablations.enumeration_budget };
+    { id = "micro"; title = "Bechamel micro-benchmarks"; run = Micro.run } ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,15 @@
+(** The experiment registry: every table and figure of the evaluation,
+    addressable by its paper identifier (e.g. ["f3.3"], ["t6.1"]). *)
+
+type experiment = {
+  id : string;  (** short id, e.g. "f3.3" *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : experiment list
+(** In paper order. *)
+
+val find : string -> experiment option
+
+val ids : unit -> string list

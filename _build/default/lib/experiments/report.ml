@@ -1,0 +1,22 @@
+let banner fmt ~id title =
+  Format.fprintf fmt "@.=== %s: %s ===@." id title
+
+let row fmt cells =
+  Format.fprintf fmt "%s@." (String.concat "  " cells)
+
+let pad width s align =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with `Left -> s ^ fill | `Right -> fill ^ s
+
+let cell ?(width = 12) s = pad width s `Left
+let cellr ?(width = 12) s = pad width s `Right
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let pct v = Printf.sprintf "%.1f%%" v

@@ -1,0 +1,20 @@
+(** Output helpers shared by the experiment drivers: section banners,
+    aligned tables, and wall-clock timing. *)
+
+val banner : Format.formatter -> id:string -> string -> unit
+(** Experiment header, e.g. [banner fmt ~id:"f3.3" "utilization vs area"]. *)
+
+val row : Format.formatter -> string list -> unit
+(** One table row, columns separated by two spaces (caller pre-pads). *)
+
+val cell : ?width:int -> string -> string
+(** Right-pad to a column width (default 12). *)
+
+val cellr : ?width:int -> string -> string
+(** Left-pad (right-align) to a column width (default 12). *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val pct : float -> string
+(** Format a percentage with one decimal. *)

@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Float Format Lazy List Op Printf Util

@@ -1,0 +1,1 @@
+lib/ir/dfg.mli: Format Op Util

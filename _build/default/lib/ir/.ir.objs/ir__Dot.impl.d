@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Cfg Dfg List Op Printf String Util

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Dfg List Op

@@ -1,0 +1,1 @@
+lib/ir/region.ml: Dfg Format List Util

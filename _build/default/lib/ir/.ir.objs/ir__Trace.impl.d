@@ -1,0 +1,1 @@
+lib/ir/trace.ml: Array Format Hashtbl List Option

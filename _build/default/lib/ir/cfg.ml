@@ -1,0 +1,80 @@
+type block = { label : string; body : Dfg.t }
+
+type stmt =
+  | Block of block
+  | Seq of stmt list
+  | If of block * stmt * stmt
+  | Loop of int * stmt
+
+type t = { name : string; code : stmt }
+
+let block label dfg = Block { label; body = dfg }
+let seq ss = Seq ss
+let loop bound body =
+  if bound < 0 then invalid_arg "Cfg.loop: negative bound";
+  Loop (bound, body)
+
+let rec blocks_of_stmt = function
+  | Block b -> [ b ]
+  | Seq ss -> List.concat_map blocks_of_stmt ss
+  | If (c, t, e) -> (c :: blocks_of_stmt t) @ blocks_of_stmt e
+  | Loop (_, body) -> blocks_of_stmt body
+
+let blocks t = blocks_of_stmt t.code
+
+let block_cycles b = Dfg.sw_cycles_total b.body
+
+let rec wcet_stmt cost = function
+  | Block b -> cost b
+  | Seq ss -> List.fold_left (fun acc s -> acc + wcet_stmt cost s) 0 ss
+  | If (c, t, e) -> cost c + max (wcet_stmt cost t) (wcet_stmt cost e)
+  | Loop (bound, body) -> bound * wcet_stmt cost body
+
+let wcet_with t ~cost = wcet_stmt cost t.code
+
+let wcet t = wcet_with t ~cost:block_cycles
+
+(* Frequencies along the WCET path: descend into the more expensive
+   branch of each conditional, multiplying by loop bounds. *)
+let wcet_frequencies_with t ~cost =
+  let acc = ref [] in
+  let rec walk mult = function
+    | Block b -> acc := (b, mult) :: !acc
+    | Seq ss -> List.iter (walk mult) ss
+    | If (c, th, el) ->
+      acc := (c, mult) :: !acc;
+      if wcet_stmt cost th >= wcet_stmt cost el then walk mult th else walk mult el
+    | Loop (bound, body) -> walk (mult * bound) body
+  in
+  walk 1 t.code;
+  List.rev !acc
+
+let wcet_frequencies t = wcet_frequencies_with t ~cost:block_cycles
+
+let profile ?(taken_probability = 0.5) t =
+  let acc = ref [] in
+  let rec walk mult = function
+    | Block b -> acc := (b, mult) :: !acc
+    | Seq ss -> List.iter (walk mult) ss
+    | If (c, th, el) ->
+      acc := (c, mult) :: !acc;
+      walk (mult *. taken_probability) th;
+      walk (mult *. (1. -. taken_probability)) el
+    | Loop (bound, body) -> walk (mult *. float_of_int bound) body
+  in
+  walk 1. t.code;
+  List.rev !acc
+
+let max_block_size t =
+  List.fold_left (fun acc b -> max acc (Dfg.node_count b.body)) 0 (blocks t)
+
+let avg_block_size t =
+  match blocks t with
+  | [] -> 0.
+  | bs ->
+    float_of_int (List.fold_left (fun acc b -> acc + Dfg.node_count b.body) 0 bs)
+    /. float_of_int (List.length bs)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %d blocks, wcet=%d cycles, max bb=%d, avg bb=%.1f"
+    t.name (List.length (blocks t)) (wcet t) (max_block_size t) (avg_block_size t)

@@ -1,0 +1,63 @@
+(** Structured control-flow representation and timing-schema WCET.
+
+    Kernels are built as structured programs (sequences, bounded loops,
+    conditionals over basic blocks), which is exactly the class the
+    Timing Schema WCET approach of the thesis (§5.1, citing Park–Shaw)
+    handles compositionally:
+
+    - [wcet (Seq ss)]      = Σ wcet ss
+    - [wcet (Loop b body)] = b × wcet body
+    - [wcet (If c t e)]    = wcet c + max (wcet t) (wcet e)
+
+    The same tree also yields execution-frequency profiles: worst-case
+    frequencies (the WCET path, used by the iterative scheme of Chapter
+    5) and expected frequencies under a branch-probability model (the
+    profile XPRES-style selection uses in Chapter 3). *)
+
+type block = { label : string; body : Dfg.t }
+
+type stmt =
+  | Block of block
+  | Seq of stmt list
+  | If of block * stmt * stmt  (** condition block, then, else *)
+  | Loop of int * stmt  (** iteration bound, body *)
+
+type t = { name : string; code : stmt }
+
+val block : string -> Dfg.t -> stmt
+val seq : stmt list -> stmt
+val loop : int -> stmt -> stmt
+
+val blocks : t -> block list
+(** All basic blocks in syntactic order. *)
+
+val block_cycles : block -> int
+(** Software cost of one execution of the block. *)
+
+val wcet : t -> int
+(** Worst-case execution time in cycles under the timing schema, with
+    every block at its software cost. *)
+
+val wcet_with : t -> cost:(block -> int) -> int
+(** WCET with per-block costs overridden — used to re-evaluate a task
+    after some blocks were accelerated by custom instructions. *)
+
+val wcet_frequencies : t -> (block * int) list
+(** Execution count of each block along the worst-case path (blocks on
+    the non-chosen side of a conditional get 0 and are omitted). *)
+
+val wcet_frequencies_with : t -> cost:(block -> int) -> (block * int) list
+(** Like {!wcet_frequencies} but with per-block costs overridden — the
+    worst-case path may shift after some blocks are accelerated. *)
+
+val profile : ?taken_probability:float -> t -> (block * float) list
+(** Expected execution count of each block when each conditional takes
+    its then-branch with [taken_probability] (default 0.5). *)
+
+val max_block_size : t -> int
+(** Largest basic block, in primitive instructions (Table 5.1). *)
+
+val avg_block_size : t -> float
+(** Mean basic-block size, in primitive instructions (Table 5.1). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let dfg ?(highlight = []) g =
+  let buffer = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "digraph dfg {\n  node [shape=box, fontname=monospace];\n";
+  let palette = [| "lightblue"; "lightyellow"; "lightpink"; "lightgreen";
+                   "lightsalmon"; "lightcyan" |] in
+  List.iteri
+    (fun i (set, label) ->
+      out "  subgraph cluster_%d {\n    label=\"%s\";\n    style=filled;\n    color=%s;\n"
+        i (escape label)
+        palette.(i mod Array.length palette);
+      Util.Bitset.iter (fun v -> out "    n%d;\n" v) set;
+      out "  }\n")
+    highlight;
+  List.iter
+    (fun v ->
+      let kind = Dfg.kind g v in
+      let shape = if Op.is_valid kind then "box" else "ellipse" in
+      out "  n%d [label=\"%d: %s\", shape=%s];\n" v v (Op.name kind) shape;
+      List.iter (fun s -> out "  n%d -> n%d;\n" v s) (Dfg.succs g v))
+    (Dfg.nodes g);
+  out "}\n";
+  Buffer.contents buffer
+
+let cfg t =
+  let buffer = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  out "digraph cfg {\n  node [shape=box, fontname=monospace];\n";
+  let counter = ref 0 in
+  let fresh () = incr counter; !counter in
+  (* returns (entry, exits) of the emitted fragment *)
+  let rec emit = function
+    | Cfg.Block b ->
+      let id = fresh () in
+      out "  b%d [label=\"%s\\n%d ops\"];\n" id (escape b.Cfg.label)
+        (Dfg.node_count b.Cfg.body);
+      (id, [ id ])
+    | Cfg.Seq ss ->
+      let parts = List.map emit ss in
+      (match parts with
+       | [] ->
+         let id = fresh () in
+         out "  b%d [label=\"(empty)\"];\n" id;
+         (id, [ id ])
+       | (entry, _) :: _ ->
+         let rec link = function
+           | (_, exits) :: ((next_entry, _) :: _ as rest) ->
+             List.iter (fun e -> out "  b%d -> b%d;\n" e next_entry) exits;
+             link rest
+           | [ (_, exits) ] -> exits
+           | [] -> []
+         in
+         (entry, link parts))
+    | Cfg.If (c, t_branch, e_branch) ->
+      let id = fresh () in
+      out "  b%d [label=\"%s?\", shape=diamond];\n" id (escape c.Cfg.label);
+      let t_entry, t_exits = emit t_branch in
+      let e_entry, e_exits = emit e_branch in
+      out "  b%d -> b%d [label=\"T\"];\n" id t_entry;
+      out "  b%d -> b%d [label=\"F\"];\n" id e_entry;
+      (id, t_exits @ e_exits)
+    | Cfg.Loop (bound, body) ->
+      let entry, exits = emit body in
+      List.iter (fun e -> out "  b%d -> b%d [label=\"x%d\", style=dashed];\n" e entry bound) exits;
+      (entry, exits)
+  in
+  ignore (emit t.Cfg.code);
+  out "}\n";
+  Buffer.contents buffer

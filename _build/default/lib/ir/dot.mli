@@ -1,0 +1,11 @@
+(** Graphviz export for inspection and documentation. *)
+
+val dfg :
+  ?highlight:(Util.Bitset.t * string) list -> Dfg.t -> string
+(** DOT source for a block's data-flow graph.  [highlight] clusters node
+    sets (e.g. selected custom instructions) into coloured boxes; the
+    string is the cluster label. *)
+
+val cfg : Cfg.t -> string
+(** DOT source for the structured control flow: blocks as boxes, loops
+    and conditionals as labelled clusters. *)

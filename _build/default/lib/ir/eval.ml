@@ -1,0 +1,63 @@
+type env = {
+  live_in : int -> int -> int;
+  memory : int -> int;
+  const : int -> int;
+}
+
+let mask32 v = v land 0xFFFFFFFF
+
+let default_env ~seed =
+  let mix a b c =
+    let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) lxor seed in
+    mask32 (h lxor (h lsr 13))
+  in
+  { live_in = (fun node idx -> mix node idx 1);
+    memory = (fun addr -> mix addr 2 3);
+    const = (fun node -> mix node 5 7 land 0xFFFF) }
+
+let eval_node kind operands =
+  let nth i = match List.nth_opt operands i with Some v -> v | None -> 0 in
+  let a = nth 0 and b = nth 1 and c = nth 2 in
+  let shift_amount = b land 31 in
+  mask32
+    (match kind with
+     | Op.Add -> a + b
+     | Op.Sub -> a - b
+     | Op.Mul -> a * b
+     | Op.Div -> if b = 0 then 0 else a / b
+     | Op.Rem -> if b = 0 then 0 else a mod b
+     | Op.And -> a land b
+     | Op.Or -> a lor b
+     | Op.Xor -> a lxor b
+     | Op.Not -> lnot a
+     | Op.Shl -> a lsl shift_amount
+     | Op.Shr -> a lsr shift_amount
+     | Op.Cmp -> if a < b then 1 else 0
+     | Op.Select -> if a <> 0 then b else c
+     | Op.Const -> 0 (* replaced by the environment below *)
+     | Op.Load -> 0 (* replaced by the environment below *)
+     | Op.Store -> a
+     | Op.Branch | Op.Call -> 0)
+
+let eval dfg env =
+  let n = Dfg.node_count dfg in
+  let values = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      let kind = Dfg.kind dfg v in
+      let explicit = List.map (fun p -> values.(p)) (Dfg.preds dfg v) in
+      let arity = Op.arity kind in
+      let operands =
+        explicit
+        @ List.init (max 0 (arity - List.length explicit)) (fun i ->
+              env.live_in v (List.length explicit + i))
+      in
+      values.(v) <-
+        (match kind with
+         | Op.Const -> mask32 (env.const v)
+         | Op.Load ->
+           let address = match operands with a :: _ -> a | [] -> 0 in
+           mask32 (env.memory address)
+         | _ -> eval_node kind operands))
+    (Dfg.topo_order dfg);
+  values

@@ -1,0 +1,29 @@
+(** Concrete evaluation of data-flow graphs.
+
+    Executes a block's DFG on 32-bit integer values, used for
+    differential testing of code generation: a block rewritten to use
+    custom instructions must compute exactly the values of the original
+    block.  Implicit live-in operands and memory reads draw from a
+    deterministic environment supplied by the caller. *)
+
+type env = {
+  live_in : int -> int -> int;
+      (** [live_in node operand_index] — value of an implicit operand *)
+  memory : int -> int;  (** [memory address] — value returned by a load *)
+  const : int -> int;  (** [const node] — value of a constant node *)
+}
+
+val default_env : seed:int -> env
+(** Pseudo-random but deterministic environment. *)
+
+val mask32 : int -> int
+(** Truncate to 32 bits (all arithmetic is modulo 2³²). *)
+
+val eval : Dfg.t -> env -> int array
+(** Value computed by every node, indexed by node id.  [Store] nodes
+    yield their stored value; [Branch]/[Call] yield 0. *)
+
+val eval_node : Op.kind -> int list -> int
+(** Apply one operator to its operand values (missing operands already
+    resolved by the caller).  Division by zero yields 0, as saturating
+    embedded semantics. *)

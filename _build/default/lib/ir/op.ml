@@ -1,0 +1,67 @@
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Not
+  | Shl
+  | Shr
+  | Cmp
+  | Select
+  | Const
+  | Load
+  | Store
+  | Branch
+  | Call
+
+let all =
+  [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Not; Shl; Shr; Cmp; Select; Const;
+    Load; Store; Branch; Call ]
+
+let arity = function
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Cmp -> 2
+  | Not | Load | Branch | Call -> 1
+  | Select -> 3
+  | Const -> 0
+  | Store -> 2
+
+(* Single-issue in-order core, MAC-normalised: ALU ops and multiplies are
+   one cycle, division is iterative, memory hits in a perfect cache. *)
+let sw_cycles = function
+  | Add | Sub | And | Or | Xor | Not | Shl | Shr | Cmp | Select | Const -> 1
+  | Mul -> 1
+  | Div | Rem -> 16
+  | Load | Store -> 2
+  | Branch -> 1
+  | Call -> 4
+
+let is_valid = function
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Not | Shl | Shr | Cmp
+  | Select | Const -> true
+  | Load | Store | Branch | Call -> false
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Cmp -> "cmp"
+  | Select -> "select"
+  | Const -> "const"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Call -> "call"
+
+let pp fmt k = Format.pp_print_string fmt (name k)

@@ -1,0 +1,47 @@
+(** Primitive operations of the intermediate representation.
+
+    The base processor is the single-issue in-order core assumed
+    throughout the thesis: every primitive costs a whole number of cycles
+    in software.  Hardware latency and silicon area of each operator live
+    in {!Isa.Hw_model}; this module only fixes the structural properties
+    (arity, software cost, eligibility for inclusion in a custom
+    instruction). *)
+
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Not
+  | Shl  (** shift left *)
+  | Shr  (** shift right *)
+  | Cmp  (** comparison producing a flag/boolean *)
+  | Select  (** 2-to-1 multiplexer: cond, a, b *)
+  | Const  (** literal; zero operands *)
+  | Load  (** memory read — invalid inside custom instructions *)
+  | Store  (** memory write — invalid *)
+  | Branch  (** control transfer — invalid *)
+  | Call  (** function call — invalid *)
+
+val all : kind list
+(** Every constructor, for table-driven code and generators. *)
+
+val arity : kind -> int
+(** Number of value operands the operation consumes. *)
+
+val sw_cycles : kind -> int
+(** Latency on the base processor, in cycles (MAC-normalised: a
+    multiply-accumulate costs one cycle at 120 MHz, as in the thesis's
+    experimental setup). *)
+
+val is_valid : kind -> bool
+(** Whether the operation may be part of a custom instruction.  Memory
+    accesses and control transfers are invalid (thesis §5.2.1); all
+    dataflow operations are valid. *)
+
+val name : kind -> string
+val pp : Format.formatter -> kind -> unit

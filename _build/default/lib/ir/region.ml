@@ -1,0 +1,34 @@
+module Bitset = Util.Bitset
+
+type t = { members : Bitset.t; weight : int; sw_cycles : int }
+
+let of_dfg dfg =
+  let n = Dfg.node_count dfg in
+  let assigned = Bitset.create n in
+  let regions = ref [] in
+  let grow seed =
+    let members = Bitset.create n in
+    let rec walk v =
+      if Dfg.valid_node dfg v && not (Bitset.mem members v) then begin
+        Bitset.set members v;
+        List.iter walk (Dfg.preds dfg v);
+        List.iter walk (Dfg.succs dfg v)
+      end
+    in
+    walk seed;
+    members
+  in
+  for v = 0 to n - 1 do
+    if Dfg.valid_node dfg v && not (Bitset.mem assigned v) then begin
+      let members = grow v in
+      Bitset.union_into assigned members;
+      regions :=
+        { members;
+          weight = Bitset.cardinal members;
+          sw_cycles = Dfg.sw_cycles_of_set dfg members }
+        :: !regions
+    end
+  done;
+  List.sort (fun a b -> compare b.weight a.weight) !regions
+
+let pp fmt r = Format.fprintf fmt "region(%d ops, %d cycles)" r.weight r.sw_cycles

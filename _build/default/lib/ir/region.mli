@@ -1,0 +1,19 @@
+(** Regions of a data-flow graph (thesis §5.2.1).
+
+    Invalid nodes (memory accesses, control transfers) partition the DFG
+    into {e regions}: maximal sets of valid nodes that are weakly
+    connected through valid nodes only.  Custom instructions never cross
+    region boundaries, so region detection is the first step of both the
+    enumeration algorithms and the MLGP generator. *)
+
+type t = {
+  members : Util.Bitset.t;  (** the region's nodes, all valid *)
+  weight : int;  (** number of operations — the region-selection key *)
+  sw_cycles : int;  (** software cost of one execution of the region *)
+}
+
+val of_dfg : Dfg.t -> t list
+(** All regions, sorted by decreasing weight (heaviest first, as consumed
+    by the iterative scheme's region selection). *)
+
+val pp : Format.formatter -> t -> unit

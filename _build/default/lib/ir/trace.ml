@@ -1,0 +1,122 @@
+type t = string array
+
+let of_list l = Array.of_list l
+let to_list = Array.to_list
+let length = Array.length
+
+let repeat pattern n =
+  let rec build acc k = if k = 0 then acc else build (pattern :: acc) (k - 1) in
+  Array.of_list (List.concat (build [] n))
+
+(* Hierholzer's algorithm on the multigraph defined by the pair counts. *)
+let of_pair_counts counts =
+  let adjacency : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let adj v =
+    match Hashtbl.find_opt adjacency v with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add adjacency v l;
+      l
+  in
+  List.iter
+    (fun ((a, b), n) ->
+      if n < 0 then invalid_arg "Trace.of_pair_counts: negative count";
+      for _ = 1 to n do
+        (adj a) := b :: !(adj a);
+        (adj b) := a :: !(adj b)
+      done)
+    counts;
+  let vertices = Hashtbl.fold (fun v _ acc -> v :: acc) adjacency [] in
+  match List.sort compare vertices with
+  | [] -> [||]
+  | start :: _ ->
+    Hashtbl.iter
+      (fun v l ->
+        if List.length !l mod 2 <> 0 then
+          invalid_arg ("Trace.of_pair_counts: odd degree at " ^ v))
+      adjacency;
+    (* Walk edges, removing each traversed edge once (both directions);
+       splice sub-tours until all edges are used. *)
+    let remove_edge a b =
+      let l = adj a in
+      let rec drop = function
+        | [] -> invalid_arg "Trace.of_pair_counts: internal"
+        | x :: rest -> if x = b then rest else x :: drop rest
+      in
+      l := drop !l
+    in
+    let tour = ref [ start ] in
+    let finished = ref false in
+    while not !finished do
+      (* find a vertex on the tour with unused edges *)
+      let rec find_pivot = function
+        | [] -> None
+        | v :: rest -> if !(adj v) <> [] then Some v else find_pivot rest
+      in
+      match find_pivot !tour with
+      | None ->
+        finished := true;
+        let total = List.fold_left (fun acc ((_, _), n) -> acc + n) 0 counts in
+        if List.length !tour <> total + 1 then
+          invalid_arg "Trace.of_pair_counts: multigraph not connected"
+      | Some pivot ->
+        (* walk a sub-tour from the pivot back to itself *)
+        let sub = ref [ pivot ] in
+        let current = ref pivot in
+        let walking = ref true in
+        while !walking do
+          match !(adj !current) with
+          | [] -> walking := false
+          | next :: _ ->
+            remove_edge !current next;
+            remove_edge next !current;
+            sub := next :: !sub;
+            current := next
+        done;
+        (* splice: replace the first occurrence of pivot with the sub-tour *)
+        let sub_path = List.rev !sub in
+        let rec splice = function
+          | [] -> []
+          | v :: rest -> if v = pivot then sub_path @ rest else v :: splice rest
+        in
+        tour := splice !tour
+    done;
+    Array.of_list !tour
+
+let pair_counts ~keep trace =
+  let kept = Array.to_list trace |> List.filter keep in
+  let table = Hashtbl.create 16 in
+  let bump a b =
+    let key = if a <= b then (a, b) else (b, a) in
+    Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+  in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      if a <> b then bump a b;
+      walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk kept;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+
+let reconfigurations ~config_of trace =
+  let count = ref 0 in
+  let current = ref None in
+  Array.iter
+    (fun loop ->
+      match config_of loop with
+      | None -> ()
+      | Some c ->
+        (match !current with
+         | Some c' when c' = c -> ()
+         | Some _ -> incr count; current := Some c
+         | None -> current := Some c))
+    trace;
+  !count
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string)
+    (to_list t)

@@ -1,0 +1,38 @@
+(** Hot-loop traces (thesis §6.1).
+
+    A trace is the sequence of hot-loop activations observed while
+    profiling an application.  It drives the reconfiguration-cost graph
+    (adjacent-pair counts) and the exact net-gain evaluation (replaying
+    the trace against a loop→configuration mapping and counting fabric
+    reloads). *)
+
+type t
+
+val of_list : string list -> t
+val to_list : t -> string list
+val length : t -> int
+
+val repeat : string list -> int -> t
+(** [repeat pattern n] — the pattern concatenated [n] times, as produced
+    by a loop nest that re-enters the same kernels every frame. *)
+
+val of_pair_counts : ((string * string) * int) list -> t
+(** Build a trace whose adjacent-pair counts are exactly the given
+    multiset, by walking an Eulerian circuit of the corresponding
+    multigraph.  Raises [Invalid_argument] unless every vertex has even
+    degree and the multigraph is connected (synthetic-input generators
+    arrange this). *)
+
+val pair_counts : keep:(string -> bool) -> t -> ((string * string) * int) list
+(** Counts of adjacent unordered pairs of {e distinct} kept loops, after
+    erasing non-kept (software-mapped) activations from the trace.  Pairs
+    are canonically ordered; these are the RCG edge weights. *)
+
+val reconfigurations : config_of:(string -> int option) -> t -> int
+(** Replay the trace: a loop mapped to [Some c] requires configuration
+    [c] to be resident; switching configurations counts one
+    reconfiguration.  Loops mapped to [None] run in software and do not
+    touch the fabric.  The initial load is not counted (edge-cut
+    semantics, matching the thesis's motivating example). *)
+
+val pp : Format.formatter -> t -> unit

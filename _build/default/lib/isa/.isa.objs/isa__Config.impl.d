@@ -1,0 +1,1 @@
+lib/isa/config.ml: Array Float Format List Util

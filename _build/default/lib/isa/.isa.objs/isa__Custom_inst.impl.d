@@ -1,0 +1,1 @@
+lib/isa/custom_inst.ml: Format Hw_model Ir Result Util

@@ -1,0 +1,1 @@
+lib/isa/custom_inst.mli: Format Hw_model Ir Util

@@ -1,0 +1,1 @@
+lib/isa/hw_model.mli: Ir Util

@@ -1,0 +1,49 @@
+type point = { area : int; cycles : int }
+
+type t = point array
+
+let of_points ~base_cycles raw =
+  List.iter
+    (fun p ->
+      if p.cycles > base_cycles then
+        invalid_arg "Config.of_points: configuration slower than software";
+      if p.area < 0 then invalid_arg "Config.of_points: negative area")
+    raw;
+  let as_front =
+    List.map
+      (fun p -> { Util.Pareto_front.cost = p.area; value = float_of_int p.cycles })
+      ({ area = 0; cycles = base_cycles } :: raw)
+  in
+  Util.Pareto_front.front as_front
+  |> List.map (fun { Util.Pareto_front.cost; value } ->
+         { area = cost; cycles = int_of_float value })
+  |> Array.of_list
+
+let points t = t
+let base_cycles t = t.(0).cycles
+let size t = Array.length t
+let max_area t = t.(Array.length t - 1).area
+let min_cycles t = t.(Array.length t - 1).cycles
+
+let best_at t budget =
+  let best = ref t.(0) in
+  Array.iter (fun p -> if p.area <= budget then best := p) t;
+  !best
+
+let scale_cycles t factor =
+  if factor <= 0. then invalid_arg "Config.scale_cycles";
+  let scale c = max 1 (int_of_float (Float.round (float_of_int c *. factor))) in
+  let scaled = Array.map (fun p -> { p with cycles = scale p.cycles }) t in
+  (* Rescaling can merge neighbouring cycle counts; re-normalise. *)
+  of_points ~base_cycles:scaled.(0).cycles
+    (Array.to_list (Array.sub scaled 1 (Array.length scaled - 1)))
+
+let restrict t ~max_area =
+  let kept = Array.to_list t |> List.filter (fun p -> p.area <= max_area) in
+  of_points ~base_cycles:(base_cycles t)
+    (List.filter (fun p -> p.area > 0) kept)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov>curve[%d]:" (size t);
+  Array.iter (fun p -> Format.fprintf fmt "@ (%d,%d)" p.area p.cycles) t;
+  Format.fprintf fmt "@]"

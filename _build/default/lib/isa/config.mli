@@ -1,0 +1,41 @@
+(** Per-task custom-instruction configurations (thesis §3.1.1).
+
+    A configuration is one synthesisable choice of custom instructions
+    for a task, summarised by its silicon area and the task's resulting
+    execution time.  A task's {e configuration curve} is the Pareto set
+    of such points, always including the software-only configuration
+    (area 0, base cycles) — this is the shape Figure 3.1 plots and the
+    object Chapter 3's selection algorithms consume. *)
+
+type point = { area : int;  (** deci-adders *) cycles : int }
+
+type t
+(** A configuration curve: non-empty, strictly increasing in area,
+    strictly decreasing in cycles, first point has area 0. *)
+
+val of_points : base_cycles:int -> point list -> t
+(** Build a curve from raw (area, cycles) design points.  The software
+    point [(0, base_cycles)] is added, dominated points are removed.
+    Points with [cycles > base_cycles] are rejected with
+    [Invalid_argument]. *)
+
+val points : t -> point array
+val base_cycles : t -> int
+val size : t -> int
+(** Number of configurations (the thesis's [n_i]). *)
+
+val max_area : t -> int
+val min_cycles : t -> int
+
+val best_at : t -> int -> point
+(** Cheapest-cycles configuration within an area budget; total, because
+    area 0 always fits. *)
+
+val scale_cycles : t -> float -> t
+(** Multiply every cycle count (including the base) by a factor —
+    used to derive task variants with different computational weights. *)
+
+val restrict : t -> max_area:int -> t
+(** Drop configurations above an area bound. *)
+
+val pp : Format.formatter -> t -> unit

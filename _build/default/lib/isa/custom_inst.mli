@@ -1,0 +1,48 @@
+(** Custom instructions: convex, I/O-bounded subgraphs of a basic block's
+    DFG, together with their evaluated software cost, hardware latency,
+    area and per-execution gain (thesis §2.3). *)
+
+type t = private {
+  nodes : Util.Bitset.t;  (** member operations *)
+  size : int;  (** number of operations *)
+  sw_cycles : int;  (** software cost of the replaced operations *)
+  hw_cycles : int;  (** latency as one custom instruction *)
+  area : int;  (** deci-adders *)
+  inputs : int;
+  outputs : int;
+}
+
+val gain : t -> int
+(** Cycles saved by one execution: [sw_cycles - hw_cycles] (may be ≤ 0
+    for patterns not worth implementing). *)
+
+type rejection =
+  | Invalid_operation  (** contains a memory access or control transfer *)
+  | Not_convex
+  | Too_many_inputs of int
+  | Too_many_outputs of int
+  | Empty
+
+val check :
+  ?constraints:Hw_model.constraints -> Ir.Dfg.t -> Util.Bitset.t ->
+  (t, rejection) result
+(** Validate a node set against the architectural constraints and
+    evaluate its metrics. *)
+
+val make :
+  ?constraints:Hw_model.constraints -> Ir.Dfg.t -> Util.Bitset.t -> t
+(** Like {!check} but raises [Invalid_argument] on rejection. *)
+
+val make_unchecked : Ir.Dfg.t -> Util.Bitset.t -> t
+(** Evaluate metrics without enforcing constraints (used by generators
+    that maintain the invariants themselves, e.g. MLGP coarse vertices
+    during refinement). *)
+
+val feasible :
+  ?constraints:Hw_model.constraints -> Ir.Dfg.t -> Util.Bitset.t -> bool
+
+val overlaps : t -> t -> bool
+(** The two instructions share at least one operation (same DFG). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_rejection : Format.formatter -> rejection -> unit

@@ -1,0 +1,48 @@
+type constraints = { max_inputs : int; max_outputs : int }
+
+let default_constraints = { max_inputs = 4; max_outputs = 2 }
+
+let cycle_ps = 8333 (* 120 MHz *)
+
+let area_units_per_adder = 10
+
+let invalid k =
+  invalid_arg ("Hw_model: " ^ Ir.Op.name k ^ " cannot be implemented in a CFU")
+
+let hw_delay_ps = function
+  | Ir.Op.Add | Ir.Op.Sub -> 2000
+  | Ir.Op.Mul -> 5500
+  | Ir.Op.Div | Ir.Op.Rem -> 30000
+  | Ir.Op.And | Ir.Op.Or | Ir.Op.Xor -> 450
+  | Ir.Op.Not -> 200
+  | Ir.Op.Shl | Ir.Op.Shr -> 900
+  | Ir.Op.Cmp -> 1800
+  | Ir.Op.Select -> 600
+  | Ir.Op.Const -> 0
+  | (Ir.Op.Load | Ir.Op.Store | Ir.Op.Branch | Ir.Op.Call) as k -> invalid k
+
+let area = function
+  | Ir.Op.Add | Ir.Op.Sub -> 10
+  | Ir.Op.Mul -> 120
+  | Ir.Op.Div | Ir.Op.Rem -> 300
+  | Ir.Op.And | Ir.Op.Or | Ir.Op.Xor -> 3
+  | Ir.Op.Not -> 1
+  | Ir.Op.Shl | Ir.Op.Shr -> 9
+  | Ir.Op.Cmp -> 8
+  | Ir.Op.Select -> 5
+  | Ir.Op.Const -> 0
+  | (Ir.Op.Load | Ir.Op.Store | Ir.Op.Branch | Ir.Op.Call) as k -> invalid k
+
+let set_area dfg set =
+  Util.Bitset.fold (fun v acc -> acc + area (Ir.Dfg.kind dfg v)) set 0
+
+let set_hw_cycles dfg set =
+  if Util.Bitset.is_empty set then 0
+  else
+    let delay k = float_of_int (hw_delay_ps k) in
+    let path = Ir.Dfg.critical_path dfg ~delay set in
+    max 1 (int_of_float (ceil (path /. float_of_int cycle_ps)))
+
+let adders_of_units u = float_of_int u /. float_of_int area_units_per_adder
+
+let gates_of_units u = u * 16 (* 160 gates per adder / 10 units per adder *)

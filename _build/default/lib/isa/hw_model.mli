@@ -1,0 +1,48 @@
+(** Hardware cost model for custom functional units.
+
+    Substitutes the Synopsys 0.18 µm synthesis flow of the thesis with a
+    fixed operator table.  Conventions follow the thesis's experimental
+    setup (§5.3.1):
+
+    - area is reported in {e adder equivalents}; internally we use
+      integer deci-adders (10 units = one 32-bit ripple adder) so that
+      the dynamic programs can use exact integer arithmetic;
+    - latency is in picoseconds; custom-instruction latency is the
+      critical path of the datapath, normalised to cycles of a 120 MHz
+      core (one MAC = one cycle);
+    - custom instructions read at most [max_inputs] and write at most
+      [max_outputs] register operands (register-file port limits). *)
+
+type constraints = { max_inputs : int; max_outputs : int }
+
+val default_constraints : constraints
+(** 4 inputs, 2 outputs — the setting used in every thesis experiment. *)
+
+val cycle_ps : int
+(** Clock period of the 120 MHz base core, in picoseconds. *)
+
+val area_units_per_adder : int
+(** Deci-adders per adder (= 10). *)
+
+val hw_delay_ps : Ir.Op.kind -> int
+(** Synthesised propagation delay of one operator.  Raises
+    [Invalid_argument] for ISE-ineligible operations. *)
+
+val area : Ir.Op.kind -> int
+(** Silicon area of one operator, in deci-adders.  Raises
+    [Invalid_argument] for ISE-ineligible operations. *)
+
+val set_area : Ir.Dfg.t -> Util.Bitset.t -> int
+(** Total area of a node set (sum of operator areas, as in the thesis's
+    area estimation). *)
+
+val set_hw_cycles : Ir.Dfg.t -> Util.Bitset.t -> int
+(** Hardware latency of a node set in core cycles:
+    ⌈critical-path delay / cycle⌉, at least 1 for non-empty sets. *)
+
+val adders_of_units : int -> float
+(** Convert deci-adders to adders for reporting. *)
+
+val gates_of_units : int -> int
+(** Convert deci-adders to logic gates (Chapter 3 reports areas in
+    gates; one adder ≈ 160 gates in a 0.18 µm library). *)

@@ -1,0 +1,1 @@
+lib/ise/codegen.ml: Array Format Ir Isa List Queue Util

@@ -1,0 +1,1 @@
+lib/ise/codegen.mli: Format Ir Isa

@@ -1,0 +1,1 @@
+lib/ise/curve.ml: Float Ir Isa List Select Util

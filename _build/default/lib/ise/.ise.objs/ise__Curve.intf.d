@@ -1,0 +1,1 @@
+lib/ise/curve.mli: Enumerate Ir Isa Select

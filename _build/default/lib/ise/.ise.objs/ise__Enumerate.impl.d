@@ -1,0 +1,1 @@
+lib/ise/enumerate.ml: Hashtbl Ir Isa List Queue String Util

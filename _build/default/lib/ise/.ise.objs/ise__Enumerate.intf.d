@@ -1,0 +1,1 @@
+lib/ise/enumerate.mli: Ir Isa Util

@@ -1,0 +1,1 @@
+lib/ise/select.ml: Array Enumerate Isa List Util

@@ -1,0 +1,1 @@
+lib/ise/select.mli: Enumerate Ir Isa

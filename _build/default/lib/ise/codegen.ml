@@ -1,0 +1,140 @@
+module Bitset = Util.Bitset
+
+type macro =
+  | Primitive of Ir.Dfg.node
+  | Fused of Isa.Custom_inst.t
+
+type schedule = macro list
+
+(* Contract the selected instructions and run Kahn's algorithm.  Returns
+   the macro order, or [None] if the contraction is cyclic: convexity is
+   a per-instruction property, so two instructions can still depend on
+   each other mutually (thesis §2.3.2's "unschedulable code" hazard). *)
+let try_schedule dfg instructions =
+  let n = Ir.Dfg.node_count dfg in
+  let owner = Array.make n (-1) in
+  List.iteri
+    (fun i (ci : Isa.Custom_inst.t) ->
+      Bitset.iter
+        (fun v ->
+          if v >= n then invalid_arg "Codegen.schedule: node outside block";
+          if owner.(v) <> -1 then
+            invalid_arg "Codegen.schedule: overlapping instructions";
+          owner.(v) <- i)
+        ci.nodes)
+    instructions;
+  let instructions = Array.of_list instructions in
+  let m = Array.length instructions in
+  let macro_of v = if owner.(v) = -1 then m + v else owner.(v) in
+  let indegree = Array.make (m + n) 0 in
+  let successors = Array.make (m + n) [] in
+  let exists = Array.make (m + n) false in
+  for v = 0 to n - 1 do
+    exists.(macro_of v) <- true;
+    List.iter
+      (fun s ->
+        let a = macro_of v and b = macro_of s in
+        if a <> b then begin
+          successors.(a) <- b :: successors.(a);
+          indegree.(b) <- indegree.(b) + 1
+        end)
+      (Ir.Dfg.succs dfg v)
+  done;
+  let ready = Queue.create () in
+  for id = 0 to m + n - 1 do
+    if exists.(id) && indegree.(id) = 0 then Queue.push id ready
+  done;
+  let out = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty ready) do
+    let id = Queue.pop ready in
+    incr emitted;
+    out :=
+      (if id < m then Fused instructions.(id) else Primitive (id - m)) :: !out;
+    List.iter
+      (fun s ->
+        indegree.(s) <- indegree.(s) - 1;
+        if indegree.(s) = 0 then Queue.push s ready)
+      successors.(id);
+    successors.(id) <- []
+  done;
+  let total = ref 0 in
+  Array.iter (fun e -> if e then incr total) exists;
+  if !emitted = !total then Some (List.rev !out) else None
+
+let schedulable_together dfg instructions =
+  match try_schedule dfg instructions with Some _ -> true | None -> false
+
+let schedule dfg instructions =
+  match try_schedule dfg instructions with
+  | Some s -> s
+  | None -> invalid_arg "Codegen.schedule: mutually dependent instructions"
+
+let sanitize dfg instructions =
+  (* Drop the lowest-gain instruction until the contraction is acyclic.
+     Terminates: with no instructions the graph is the original DAG. *)
+  let rec fix kept =
+    match try_schedule dfg kept with
+    | Some _ -> kept
+    | None ->
+      (match
+         List.sort
+           (fun a b -> compare (Isa.Custom_inst.gain a) (Isa.Custom_inst.gain b))
+           kept
+       with
+       | weakest :: _ -> fix (List.filter (fun ci -> ci != weakest) kept)
+       | [] -> assert false)
+  in
+  fix instructions
+
+let cycles dfg s =
+  Util.Numeric.sum_by
+    (function
+      | Primitive v -> Ir.Op.sw_cycles (Ir.Dfg.kind dfg v)
+      | Fused ci -> ci.Isa.Custom_inst.hw_cycles)
+    s
+
+let covered s =
+  Util.Numeric.sum_by
+    (function Primitive _ -> 0 | Fused ci -> ci.Isa.Custom_inst.size)
+    s
+
+let execute dfg env s =
+  let n = Ir.Dfg.node_count dfg in
+  let values = Array.make n 0 in
+  let compute v =
+    let kind = Ir.Dfg.kind dfg v in
+    let explicit = List.map (fun p -> values.(p)) (Ir.Dfg.preds dfg v) in
+    let arity = Ir.Op.arity kind in
+    let operands =
+      explicit
+      @ List.init (max 0 (arity - List.length explicit)) (fun i ->
+            env.Ir.Eval.live_in v (List.length explicit + i))
+    in
+    values.(v) <-
+      (match kind with
+       | Ir.Op.Const -> Ir.Eval.mask32 (env.Ir.Eval.const v)
+       | Ir.Op.Load ->
+         let address = match operands with a :: _ -> a | [] -> 0 in
+         Ir.Eval.mask32 (env.Ir.Eval.memory address)
+       | _ -> Ir.Eval.eval_node kind operands)
+  in
+  List.iter
+    (function
+      | Primitive v -> compute v
+      | Fused ci ->
+        (* internal nodes of a fused instruction evaluate in dataflow
+           order; node ids are already topological *)
+        List.iter compute (Bitset.elements ci.Isa.Custom_inst.nodes))
+    s;
+  values
+
+let pp dfg fmt s =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (function
+      | Primitive v ->
+        Format.fprintf fmt "%-4d %a@," v Ir.Op.pp (Ir.Dfg.kind dfg v)
+      | Fused ci -> Format.fprintf fmt "     %a@," Isa.Custom_inst.pp ci)
+    s;
+  Format.fprintf fmt "@]"

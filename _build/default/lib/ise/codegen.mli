@@ -1,0 +1,46 @@
+(** Code generation: rewrite a block to use selected custom instructions
+    (the final step of the thesis's compilation flow, §2.2).
+
+    The selected custom instructions (pairwise disjoint, legal) are
+    contracted into single {e fused} operations; the block becomes a
+    schedule of primitives and fused operations in dependence order.
+    Because every custom instruction is convex, the contracted graph is
+    acyclic and such a schedule always exists.
+
+    {!execute} runs a schedule on concrete values, which the test suite
+    uses for differential verification: a rewritten block computes
+    exactly the same values as the original, in exactly
+    [software cycles − Σ gains] cycles. *)
+
+type macro =
+  | Primitive of Ir.Dfg.node
+  | Fused of Isa.Custom_inst.t
+
+type schedule = macro list
+
+val schedule : Ir.Dfg.t -> Isa.Custom_inst.t list -> schedule
+(** Raises [Invalid_argument] if the instructions overlap, contain nodes
+    outside the block, or depend on each other mutually (each
+    instruction is convex on its own, but two of them can still form a
+    cycle once contracted — the "unschedulable code" hazard of thesis
+    §2.3.2; see {!sanitize}). *)
+
+val schedulable_together : Ir.Dfg.t -> Isa.Custom_inst.t list -> bool
+(** The contracted dependence graph is acyclic (instructions must be
+    disjoint). *)
+
+val sanitize : Ir.Dfg.t -> Isa.Custom_inst.t list -> Isa.Custom_inst.t list
+(** Drop lowest-gain instructions until the selection is jointly
+    schedulable.  Identity on already-schedulable selections. *)
+
+val cycles : Ir.Dfg.t -> schedule -> int
+(** Execution time of the rewritten block: software latency for
+    primitives, hardware latency for fused instructions. *)
+
+val covered : schedule -> int
+(** Number of primitive operations folded into fused instructions. *)
+
+val execute : Ir.Dfg.t -> Ir.Eval.env -> schedule -> int array
+(** Values per node (same indexing as {!Ir.Eval.eval}). *)
+
+val pp : Ir.Dfg.t -> Format.formatter -> schedule -> unit

@@ -1,0 +1,40 @@
+let profile_cycles profile =
+  Util.Numeric.sum_byf
+    (fun (b, freq) -> freq *. float_of_int (Ir.Cfg.block_cycles b))
+    profile
+
+let base_cycles cfg =
+  int_of_float (Float.round (profile_cycles (Ir.Cfg.profile cfg)))
+
+let candidates ?constraints ?budget ?(hot_threshold = 0.01) cfg =
+  let profile = Ir.Cfg.profile cfg in
+  let total = profile_cycles profile in
+  let hot =
+    List.filteri (fun _ (b, freq) ->
+        freq *. float_of_int (Ir.Cfg.block_cycles b) >= hot_threshold *. total)
+      profile
+  in
+  List.concat
+    (List.mapi
+       (fun block (b, freq) ->
+         Select.candidates_of_block ?constraints ?budget ~block ~freq
+           b.Ir.Cfg.body)
+       hot)
+
+let generate ?constraints ?budget ?hot_threshold ?(sweep_points = 24) cfg =
+  let cands = candidates ?constraints ?budget ?hot_threshold cfg in
+  let base = base_cycles cfg in
+  let select area_budget =
+    if List.length cands <= 22 then Select.branch_and_bound ~budget:area_budget cands
+    else Select.greedy ~budget:area_budget cands
+  in
+  let unconstrained = select max_int in
+  let max_area = Select.area_of unconstrained in
+  let points = ref [] in
+  for i = 1 to sweep_points do
+    let area_budget = max_area * i / sweep_points in
+    let sel = select area_budget in
+    let cycles = base - int_of_float (Float.round (Select.gain_of sel)) in
+    points := { Isa.Config.area = Select.area_of sel; cycles = max 1 cycles } :: !points
+  done;
+  Isa.Config.of_points ~base_cycles:base !points

@@ -1,0 +1,31 @@
+(** Configuration-curve generation — the XPRES-compiler substitute.
+
+    Runs the full identify-then-select pipeline over a task's hot basic
+    blocks at a sweep of area budgets and Pareto-filters the resulting
+    (area, cycles) design points into the task's configuration curve
+    (the staircase of Figure 3.1).  Chapter 3's selection algorithms
+    consume these curves exactly as the thesis consumed XPRES output. *)
+
+val candidates :
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:Enumerate.budget ->
+  ?hot_threshold:float ->
+  Ir.Cfg.t ->
+  Select.candidate list
+(** Candidate custom instructions of all hot basic blocks (blocks
+    contributing at least [hot_threshold], default 1 %, of the task's
+    profiled cycles), with profiled frequencies attached. *)
+
+val base_cycles : Ir.Cfg.t -> int
+(** Profiled software execution time of the task, in cycles. *)
+
+val generate :
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:Enumerate.budget ->
+  ?hot_threshold:float ->
+  ?sweep_points:int ->
+  Ir.Cfg.t ->
+  Isa.Config.t
+(** The task's configuration curve ([sweep_points] area budgets, default
+    24, each solved with branch-and-bound when small enough and the
+    greedy selector otherwise). *)

@@ -1,0 +1,126 @@
+module Bitset = Util.Bitset
+
+type budget = { max_size : int; max_explored : int; max_candidates : int }
+
+let default_budget = { max_size = 14; max_explored = 60_000; max_candidates = 4_000 }
+let small_budget = { max_size = 8; max_explored = 6_000; max_candidates = 400 }
+
+let key_of_set set = String.concat "," (List.map string_of_int (Bitset.elements set))
+
+(* Valid neighbours (preds and succs) of the members, excluding members
+   and nodes outside [allowed]. *)
+let frontier dfg allowed set =
+  let out = ref [] in
+  let consider v =
+    if
+      Ir.Dfg.valid_node dfg v
+      && (not (Bitset.mem set v))
+      && Bitset.mem allowed v
+      && not (List.mem v !out)
+    then out := v :: !out
+  in
+  Bitset.iter
+    (fun v ->
+      List.iter consider (Ir.Dfg.preds dfg v);
+      List.iter consider (Ir.Dfg.succs dfg v))
+    set;
+  !out
+
+let connected ?(constraints = Isa.Hw_model.default_constraints)
+    ?(budget = default_budget) ?allowed dfg =
+  let n = Ir.Dfg.node_count dfg in
+  let allowed =
+    match allowed with
+    | Some a -> a
+    | None -> Bitset.of_list n (List.init n (fun i -> i))
+  in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let push set =
+    let key = key_of_set set in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.push set queue
+    end
+  in
+  for v = 0 to n - 1 do
+    if Ir.Dfg.valid_node dfg v && Bitset.mem allowed v then
+      push (Bitset.of_list n [ v ])
+  done;
+  let results = ref [] in
+  let emitted = ref 0 in
+  let explored = ref 0 in
+  while
+    (not (Queue.is_empty queue))
+    && !explored < budget.max_explored
+    && !emitted < budget.max_candidates
+  do
+    let set = Queue.pop queue in
+    incr explored;
+    (match Isa.Custom_inst.check ~constraints dfg set with
+     | Ok ci when Isa.Custom_inst.gain ci > 0 ->
+       incr emitted;
+       results := ci :: !results
+     | Ok _ | Error _ -> ());
+    if Bitset.cardinal set < budget.max_size then
+      List.iter
+        (fun v ->
+          let grown = Bitset.copy set in
+          Bitset.set grown v;
+          push grown)
+        (frontier dfg allowed set)
+  done;
+  List.rev !results
+
+let max_miso ?(constraints = Isa.Hw_model.default_constraints) dfg =
+  let n = Ir.Dfg.node_count dfg in
+  let patterns = ref [] in
+  let seen = Hashtbl.create 64 in
+  for sink = 0 to n - 1 do
+    if Ir.Dfg.valid_node dfg sink then begin
+      let set = Bitset.of_list n [ sink ] in
+      (* Add a parent only when all of its consumers are already inside,
+         so the pattern keeps a single output; stop growing through
+         invalid nodes or past the input-port limit. *)
+      let rec grow () =
+        let added = ref false in
+        Bitset.iter
+          (fun v ->
+            List.iter
+              (fun p ->
+                if
+                  Ir.Dfg.valid_node dfg p
+                  && (not (Bitset.mem set p))
+                  && (not (Ir.Dfg.live_out dfg p))
+                  && List.for_all (fun s -> Bitset.mem set s) (Ir.Dfg.succs dfg p)
+                then begin
+                  Bitset.set set p;
+                  if Ir.Dfg.input_count dfg set > constraints.Isa.Hw_model.max_inputs
+                  then Bitset.clear set p
+                  else added := true
+                end)
+              (Ir.Dfg.preds dfg v))
+          set;
+        if !added then grow ()
+      in
+      grow ();
+      let key = key_of_set set in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        match Isa.Custom_inst.check ~constraints dfg set with
+        | Ok ci when Isa.Custom_inst.gain ci > 0 -> patterns := ci :: !patterns
+        | Ok _ | Error _ -> ()
+      end
+    end
+  done;
+  List.rev !patterns
+
+let best_single_cut ?constraints ?(budget = default_budget) ~allowed dfg =
+  let candidates = connected ?constraints ~budget ~allowed dfg in
+  List.fold_left
+    (fun best ci ->
+      match best with
+      | None -> Some ci
+      | Some b ->
+        if Isa.Custom_inst.gain ci > Isa.Custom_inst.gain b then Some ci else best)
+    None candidates

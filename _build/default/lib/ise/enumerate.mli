@@ -1,0 +1,47 @@
+(** Custom-instruction identification (thesis §2.3.1).
+
+    Enumerates valid custom-instruction candidates — convex, I/O-bounded
+    connected subgraphs — from a basic block's DFG.  Exhaustive
+    enumeration is exponential in the worst case (Bonzini's
+    O(n^{Nin+Nout}) bound), so the search is capped by a subgraph-size
+    limit and an exploration budget; within those caps the search is
+    complete.  This mirrors the pruned exhaustive searches of
+    Pozzi/Atasu/Yu cited by the thesis. *)
+
+type budget = {
+  max_size : int;  (** largest candidate, in operations *)
+  max_explored : int;  (** node-set expansions examined before stopping *)
+  max_candidates : int;  (** candidates emitted before stopping *)
+}
+
+val default_budget : budget
+val small_budget : budget
+(** A cheaper budget for the fast paths of iterative algorithms. *)
+
+val connected :
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:budget ->
+  ?allowed:Util.Bitset.t ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t list
+(** All connected candidates with strictly positive gain, each node drawn
+    from [allowed] (default: every node).  Deduplicated; order is
+    breadth-first by size. *)
+
+val max_miso :
+  ?constraints:Isa.Hw_model.constraints ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t list
+(** Maximal multiple-input single-output patterns, one per interior sink,
+    grown greedily while the input constraint holds (the linear-time
+    MaxMISO algorithm the thesis cites). *)
+
+val best_single_cut :
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:budget ->
+  allowed:Util.Bitset.t ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t option
+(** Highest per-execution-gain single candidate inside [allowed] — the
+    single-cut identification step of the Iterative Selection baseline
+    (thesis §5.3.3). *)

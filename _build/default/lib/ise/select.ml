@@ -1,0 +1,116 @@
+type candidate = { ci : Isa.Custom_inst.t; block : int; freq : float }
+
+let total_gain c = float_of_int (Isa.Custom_inst.gain c.ci) *. c.freq
+
+let candidates_of_block ?constraints ?budget ~block ~freq dfg =
+  Enumerate.connected ?constraints ?budget dfg
+  |> List.map (fun ci -> { ci; block; freq })
+
+let conflict a b = a.block = b.block && Isa.Custom_inst.overlaps a.ci b.ci
+
+let area_of sel = List.fold_left (fun acc c -> acc + c.ci.Isa.Custom_inst.area) 0 sel
+let gain_of sel = List.fold_left (fun acc c -> acc +. total_gain c) 0. sel
+
+let selection_valid ~budget sel =
+  area_of sel <= budget
+  &&
+  let rec pairwise = function
+    | [] -> true
+    | c :: rest -> (not (List.exists (conflict c) rest)) && pairwise rest
+  in
+  pairwise sel
+
+let by_ratio_desc a b =
+  let ratio c =
+    if c.ci.Isa.Custom_inst.area = 0 then infinity
+    else total_gain c /. float_of_int c.ci.Isa.Custom_inst.area
+  in
+  compare (ratio b) (ratio a)
+
+let greedy ~budget candidates =
+  let sorted = List.sort by_ratio_desc candidates in
+  let rec take area chosen = function
+    | [] -> List.rev chosen
+    | c :: rest ->
+      if
+        area + c.ci.Isa.Custom_inst.area <= budget
+        && not (List.exists (conflict c) chosen)
+      then take (area + c.ci.Isa.Custom_inst.area) (c :: chosen) rest
+      else take area chosen rest
+  in
+  take 0 [] sorted
+
+let branch_and_bound ?(max_explored = 200_000) ~budget candidates =
+  let cands = Array.of_list (List.sort by_ratio_desc candidates) in
+  let n = Array.length cands in
+  let best_gain = ref 0. and best_sel = ref [] in
+  let explored = ref 0 in
+  (* Optimistic bound: fractional knapsack over remaining candidates,
+     ignoring conflicts. *)
+  let bound i area gain =
+    let remaining = ref (budget - area) and b = ref gain in
+    (try
+       for j = i to n - 1 do
+         let c = cands.(j) in
+         let a = c.ci.Isa.Custom_inst.area in
+         if a <= !remaining then begin
+           remaining := !remaining - a;
+           b := !b +. total_gain c
+         end
+         else begin
+           if a > 0 then
+             b := !b +. (total_gain c *. float_of_int !remaining /. float_of_int a);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !b
+  in
+  let rec search i area gain chosen =
+    if !explored < max_explored then begin
+      incr explored;
+      if gain > !best_gain then begin
+        best_gain := gain;
+        best_sel := chosen
+      end;
+      if i < n && bound i area gain > !best_gain then begin
+        let c = cands.(i) in
+        let a = c.ci.Isa.Custom_inst.area in
+        if area + a <= budget && not (List.exists (conflict c) chosen) then
+          search (i + 1) (area + a) (gain +. total_gain c) (c :: chosen);
+        search (i + 1) area gain chosen
+      end
+    end
+  in
+  search 0 0 0. [];
+  List.rev !best_sel
+
+let knapsack ~budget candidates =
+  let rec pairwise = function
+    | [] -> ()
+    | c :: rest ->
+      if List.exists (conflict c) rest then
+        invalid_arg "Select.knapsack: candidates overlap";
+      pairwise rest
+  in
+  pairwise candidates;
+  let areas = List.map (fun c -> c.ci.Isa.Custom_inst.area) candidates in
+  let delta = max 1 (Util.Numeric.gcd_list (budget :: areas)) in
+  let cells = (budget / delta) + 1 in
+  let best = Array.make cells 0. in
+  let sel : candidate list array = Array.make cells [] in
+  List.iter
+    (fun c ->
+      let a = c.ci.Isa.Custom_inst.area in
+      if a <= budget then
+        let steps = Util.Numeric.ceil_div a delta in
+        for cell = cells - 1 downto steps do
+          let from = cell - steps in
+          let candidate_gain = best.(from) +. total_gain c in
+          if candidate_gain > best.(cell) then begin
+            best.(cell) <- candidate_gain;
+            sel.(cell) <- c :: sel.(from)
+          end
+        done)
+    candidates;
+  List.rev sel.(cells - 1)

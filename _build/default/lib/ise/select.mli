@@ -1,0 +1,46 @@
+(** Custom-instruction selection (thesis §2.3.2).
+
+    Given a library of candidates with profiled execution frequencies,
+    pick a subset maximising total cycle gain under a silicon-area budget
+    with the non-overlap constraint (a base operation is covered by at
+    most one custom instruction).  Three selectors are provided:
+
+    - {!greedy} — gain/area-ratio heuristic,
+    - {!branch_and_bound} — exact, with fractional-knapsack bounding,
+    - {!knapsack} — exact pseudo-polynomial DP for candidate sets already
+      known to be pairwise disjoint (e.g. MLGP partitions). *)
+
+type candidate = {
+  ci : Isa.Custom_inst.t;
+  block : int;  (** index of the owning basic block *)
+  freq : float;  (** executions of the block per task run *)
+}
+
+val total_gain : candidate -> float
+(** Cycles saved per task run: per-execution gain × frequency. *)
+
+val candidates_of_block :
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:Enumerate.budget ->
+  block:int -> freq:float -> Ir.Dfg.t -> candidate list
+
+val conflict : candidate -> candidate -> bool
+(** Same block and overlapping node sets. *)
+
+val selection_valid : budget:int -> candidate list -> bool
+(** Pairwise conflict-free and within the area budget. *)
+
+val area_of : candidate list -> int
+val gain_of : candidate list -> float
+
+val greedy : budget:int -> candidate list -> candidate list
+
+val branch_and_bound :
+  ?max_explored:int -> budget:int -> candidate list -> candidate list
+(** Exact for small candidate sets; falls back to the best solution found
+    when the exploration cap is hit. *)
+
+val knapsack : budget:int -> candidate list -> candidate list
+(** Exact 0-1 knapsack over the area dimension (granularity = gcd of
+    areas).  Precondition: candidates are pairwise conflict-free; raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,1 @@
+lib/iterative/driver.ml: Array Float Ir Isa List Mlgp Util

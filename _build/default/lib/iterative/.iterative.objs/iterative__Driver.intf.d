@@ -1,0 +1,1 @@
+lib/iterative/driver.mli: Ir

@@ -1,0 +1,1 @@
+lib/iterative/is_baseline.ml: Ir Isa Ise List Util

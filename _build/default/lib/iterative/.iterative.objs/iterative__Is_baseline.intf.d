@@ -1,0 +1,1 @@
+lib/iterative/is_baseline.mli: Ir Isa Ise

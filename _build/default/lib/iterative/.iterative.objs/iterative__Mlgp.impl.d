@@ -1,0 +1,1 @@
+lib/iterative/mlgp.ml: Array Ir Isa Ise List Queue Util

@@ -1,0 +1,1 @@
+lib/iterative/mlgp.mli: Ir Isa Util

@@ -1,0 +1,45 @@
+(** The iterative top-down customization scheme — Algorithm 4 of the
+    thesis (Chapter 5).
+
+    Instead of generating custom instructions for every task up front
+    (the bottom-up flow of Chapters 3–4), the scheme zooms into the
+    bottleneck: each iteration picks the task with the highest
+    utilization, walks the heaviest unexplored regions of the basic
+    blocks on its worst-case path, and generates custom instructions for
+    them with MLGP until the required WCET reduction Δ is reached.  A
+    task that yields no further gain is dropped from consideration.  The
+    loop stops when the target utilization is met or every task is
+    exhausted. *)
+
+type task_input = { name : string; cfg : Ir.Cfg.t; period : int }
+
+type iteration = {
+  index : int;
+  task : string;  (** task customized in this iteration *)
+  utilization : float;  (** total utilization after the iteration *)
+  area : int;  (** cumulative area of accepted custom instructions *)
+}
+
+type result = {
+  utilization : float;
+  schedulable : bool;  (** final utilization ≤ target *)
+  iterations : iteration list;  (** most recent last *)
+  total_area : int;
+  instruction_count : int;
+}
+
+val tasks_of_kernels :
+  u:float -> (string * Ir.Cfg.t) list -> task_input list
+(** Periods chosen for equal utilization shares summing to [u] (the
+    experiment setup of §5.3.2). *)
+
+val run :
+  ?target:float ->
+  ?coverage:float ->
+  ?max_iterations:int ->
+  ?seed:int ->
+  task_input list ->
+  result
+(** [target] defaults to 1.0 (EDF schedulability); [coverage] (default
+    0.9) is the share of the WCET that the selected basic-block
+    subsequence S must account for. *)

@@ -1,0 +1,22 @@
+module Bitset = Util.Bitset
+
+let run ?constraints ?budget ?(max_instructions = 64) ?(on_step = fun _ -> ())
+    dfg =
+  let n = Ir.Dfg.node_count dfg in
+  let available =
+    Bitset.of_list n (List.filter (Ir.Dfg.valid_node dfg) (Ir.Dfg.nodes dfg))
+  in
+  let rec iterate acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match Ise.Enumerate.best_single_cut ?constraints ?budget ~allowed:available dfg with
+      | None -> List.rev acc
+      | Some ci ->
+        if Isa.Custom_inst.gain ci <= 0 then List.rev acc
+        else begin
+          Bitset.diff_into available ci.Isa.Custom_inst.nodes;
+          on_step ci;
+          iterate (ci :: acc) (remaining - 1)
+        end
+  in
+  iterate [] max_instructions

@@ -1,0 +1,20 @@
+(** Iterative Selection (IS) — the state-of-the-art baseline of thesis
+    §5.3.3 (Pozzi–Atasu–Ienne's iterative algorithm).
+
+    Per iteration, find the single best custom instruction in the
+    not-yet-covered part of the DFG (optimal single-cut identification),
+    emit it, remove its nodes, and repeat.  Produces near-optimal
+    instruction sets but each iteration pays for a full enumeration,
+    which is what makes it orders of magnitude slower than MLGP on large
+    basic blocks — the comparison Figures 5.5/5.6 report. *)
+
+val run :
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:Ise.Enumerate.budget ->
+  ?max_instructions:int ->
+  ?on_step:(Isa.Custom_inst.t -> unit) ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t list
+(** Custom instructions in emission order (each iteration's winner).
+    [on_step] is invoked as each instruction is produced, letting the
+    benchmark harness timestamp the progress curve. *)

@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Blockgen Ir List Util

@@ -1,0 +1,1 @@
+lib/kernels/blockgen.ml: Array Ir List Util

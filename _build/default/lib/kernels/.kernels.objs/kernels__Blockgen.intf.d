@@ -1,0 +1,1 @@
+lib/kernels/blockgen.mli: Ir Util

@@ -1,0 +1,55 @@
+(** Deterministic generation of benchmark-like basic blocks.
+
+    The reproduction cannot ship MiBench/MediaBench binaries, so each
+    benchmark kernel is modelled as a structured program over synthetic
+    basic blocks whose size, operator mix and dependence shape match the
+    kernel class (crypto, DSP, control).  All draws come from a seeded
+    {!Util.Prng}, so kernels are identical across runs. *)
+
+type mix = (Ir.Op.kind * int) list
+(** Weighted operator distribution (weights need not sum to anything). *)
+
+val crypto_mix : mix
+(** xor/and/or/shift-heavy with some adds — DES, AES, SHA, blowfish. *)
+
+val dsp_mix : mix
+(** add/sub/mul with shifts — filters, DCT, ADPCM arithmetic. *)
+
+val control_mix : mix
+(** compare/select/add — quantisers, clamping, Huffman-style decisions. *)
+
+val block :
+  ?loads:int ->
+  ?stores:int ->
+  ?window:int ->
+  ?live_in_bias:float ->
+  Util.Prng.t ->
+  size:int ->
+  mix ->
+  Ir.Dfg.t
+(** [block prng ~size mix] builds a DAG of [size] valid operations
+    preceded by [loads] memory reads and followed by [stores] memory
+    writes.  Operand edges connect to earlier nodes within a sliding
+    [window] (default 12), falling back to implicit live-ins with
+    probability [live_in_bias] (default 0.15), which yields the mix of
+    chains and local parallelism seen in real compiled blocks. *)
+
+val dct8 : unit -> Ir.Dfg.t
+(** A deterministic 8-point integer DCT block (loads, three butterfly
+    stages with constant multiplies, stores) — the jfdctint inner
+    block. *)
+
+val crc_byte : unit -> Ir.Dfg.t
+(** One table-driven CRC-32 byte step: load, xor/shift/mask chain. *)
+
+val fft_butterfly : unit -> Ir.Dfg.t
+(** One radix-2 FFT butterfly on fixed-point complex values: a complex
+    multiply (4 mul, 2 add/sub) plus the add/sub recombination. *)
+
+val viterbi_acs : unit -> Ir.Dfg.t
+(** One add-compare-select step over two predecessor states: two path
+    metric additions, a compare, and selects for metric and survivor. *)
+
+val sobel_window : unit -> Ir.Dfg.t
+(** One 3×3 Sobel gradient: 8 pixel loads, weighted horizontal/vertical
+    sums, magnitude approximation |gx| + |gy| and threshold. *)

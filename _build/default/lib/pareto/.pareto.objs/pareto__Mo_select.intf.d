@@ -1,0 +1,1 @@
+lib/pareto/mo_select.mli: Util

@@ -1,0 +1,1 @@
+lib/pareto/stages.ml: Array Isa Ise List Mo_select Util

@@ -1,0 +1,1 @@
+lib/pareto/stages.mli: Ir Ise Mo_select Util

@@ -1,0 +1,48 @@
+(** Two-objective selection machinery shared by the intra-task and
+    inter-task stages of Chapter 4.
+
+    Both stages are instances of one problem: a list of {e entities}
+    (custom-instruction candidates / tasks), each offering a finite set
+    of options [{delta; cost}] — choose exactly one option per entity so
+    as to trade total cost (silicon area) against total value
+    ([base − Σ delta]: workload or utilization).  Provided algorithms:
+
+    - {!exact_front} — pseudo-polynomial DP over the full cost range,
+      yielding the exact Pareto curve (thesis §4.2.1's Algorithm DP);
+    - {!gap} — the polynomial-time GAP subroutine with the ⌈aᵢⱼ·r/b⌉
+      cost transformation (§4.2.1.1);
+    - {!approx_front} — the FPTAS of Algorithm 3: a geometric grid over
+      the cost range with ratio (1+ε') where ε' = √(1+ε) − 1, one GAP
+      call per coordinate, undominated solutions retained.  The result
+      ε-covers the exact front with polynomially many points. *)
+
+type option_ = {
+  delta : float;  (** value reduction when this option is chosen (≥ 0) *)
+  cost : int;  (** silicon cost (≥ 0) *)
+}
+
+type entity = option_ array
+(** Options of one entity.  A zero option [{delta = 0.; cost = 0}] is
+    added automatically if absent (not choosing is always possible). *)
+
+val exact_front : base:float -> entity list -> Util.Pareto_front.point list
+(** The exact cost/value Pareto curve.  Runtime O(#options · Σmax-cost). *)
+
+val gap :
+  eps:float ->
+  cost_bound:int ->
+  value_bound:float ->
+  base:float ->
+  entity list ->
+  Util.Pareto_front.point option
+(** [gap ~eps ~cost_bound:c ~value_bound:w ...] either returns a solution
+    with cost ≤ c and value ≤ w, or [None], which guarantees no solution
+    has cost ≤ c/(1+eps) and value ≤ w (the one-sided GAP guarantee). *)
+
+val approx_front :
+  eps:float -> base:float -> entity list -> Util.Pareto_front.point list
+(** ε-approximate Pareto curve; polynomial in the input size and 1/ε. *)
+
+val solve_at_cost : cost:int -> base:float -> entity list -> float
+(** Minimum achievable value within a cost budget (exact DP restricted to
+    one budget) — a convenience for single-budget queries. *)

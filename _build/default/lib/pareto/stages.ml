@@ -1,0 +1,77 @@
+module Intra = struct
+  (* Candidates must be pairwise conflict-free so that choosing any
+     subset is a real implementation (and the workload stays
+     non-negative, which the multiplicative ε-guarantee needs).  Keep a
+     maximal conflict-free subset, best gain/area ratio first. *)
+  let conflict_free candidates =
+    let ranked =
+      List.sort
+        (fun a b ->
+          let ratio c =
+            Ise.Select.total_gain c
+            /. float_of_int (max 1 c.Ise.Select.ci.Isa.Custom_inst.area)
+          in
+          compare (ratio b) (ratio a))
+        candidates
+    in
+    List.fold_left
+      (fun kept c ->
+        if List.exists (Ise.Select.conflict c) kept then kept else c :: kept)
+      [] ranked
+    |> List.rev
+
+  let entities candidates =
+    conflict_free candidates
+    |> List.filter_map (fun c ->
+           let delta = Ise.Select.total_gain c in
+           let cost = c.Ise.Select.ci.Isa.Custom_inst.area in
+           if delta <= 0. then None
+           else Some [| { Mo_select.delta; cost } |])
+
+  let exact ~workload candidates =
+    Mo_select.exact_front ~base:(float_of_int workload) (entities candidates)
+
+  let approx ~eps ~workload candidates =
+    Mo_select.approx_front ~eps ~base:(float_of_int workload) (entities candidates)
+
+  let of_task ?eps cfg =
+    let workload = Ise.Curve.base_cycles cfg in
+    let candidates = Ise.Curve.candidates ~budget:Ise.Enumerate.small_budget cfg in
+    let front =
+      match eps with
+      | None -> exact ~workload candidates
+      | Some eps -> approx ~eps ~workload candidates
+    in
+    (workload, front)
+end
+
+module Inter = struct
+  type task_curve = {
+    period : int;
+    workload : int;
+    front : Util.Pareto_front.point list;
+  }
+
+  let entities curves =
+    List.map
+      (fun tc ->
+        Array.of_list
+          (List.map
+             (fun (p : Util.Pareto_front.point) ->
+               { Mo_select.delta =
+                   (float_of_int tc.workload -. p.value) /. float_of_int tc.period;
+                 cost = p.cost })
+             tc.front))
+      curves
+
+  let base_utilization curves =
+    Util.Numeric.sum_byf
+      (fun tc -> float_of_int tc.workload /. float_of_int tc.period)
+      curves
+
+  let exact curves =
+    Mo_select.exact_front ~base:(base_utilization curves) (entities curves)
+
+  let approx ~eps curves =
+    Mo_select.approx_front ~eps ~base:(base_utilization curves) (entities curves)
+end

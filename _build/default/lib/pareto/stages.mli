@@ -1,0 +1,52 @@
+(** The two stages of Chapter 4's approximation scheme (Figure 4.3).
+
+    Stage 1 (intra-task) turns a task's custom-instruction candidate
+    library into its workload–area Pareto curve; stage 2 (inter-task)
+    combines per-task curves into the task set's utilization–area Pareto
+    curve.  Each stage runs either exactly (pseudo-polynomial DP) or
+    ε-approximately (the FPTAS), and the two ε parameters are
+    independent, as in the thesis. *)
+
+module Intra : sig
+  val entities : Ise.Select.candidate list -> Mo_select.entity list
+  (** One entity per candidate: choose it (gain × frequency cycles saved,
+      its area) or not.  The candidate set is first reduced to a maximal
+      pairwise conflict-free subset (best gain/area first) so that every
+      subset is a realizable implementation, as the Chapter 4 independence
+      assumption requires. *)
+
+  val exact :
+    workload:int -> Ise.Select.candidate list -> Util.Pareto_front.point list
+  (** Exact workload–area curve; [workload] is the task's software
+      execution time in cycles. *)
+
+  val approx :
+    eps:float ->
+    workload:int ->
+    Ise.Select.candidate list ->
+    Util.Pareto_front.point list
+
+  val of_task :
+    ?eps:float -> Ir.Cfg.t -> int * Util.Pareto_front.point list
+  (** Convenience: profile a kernel, enumerate candidates, and return
+      (workload, curve) — exact when [eps] is omitted. *)
+end
+
+module Inter : sig
+  type task_curve = {
+    period : int;
+    workload : int;  (** software execution time *)
+    front : Util.Pareto_front.point list;  (** workload–area curve *)
+  }
+
+  val entities : task_curve list -> Mo_select.entity list
+  (** One entity per task; options are its curve points, with delta
+      the utilization reduction [(workload − w)/period]. *)
+
+  val base_utilization : task_curve list -> float
+
+  val exact : task_curve list -> Util.Pareto_front.point list
+  (** Exact utilization–area curve for the task set. *)
+
+  val approx : eps:float -> task_curve list -> Util.Pareto_front.point list
+end

@@ -1,0 +1,1 @@
+lib/partition/graph.ml: Array Hashtbl List Option

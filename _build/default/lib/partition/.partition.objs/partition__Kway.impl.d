@@ -1,0 +1,1 @@
+lib/partition/kway.ml: Array Float Graph List Util

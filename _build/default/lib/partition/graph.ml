@@ -1,0 +1,69 @@
+type t = {
+  weights : int array;
+  adjacency : (int * int) list array; (* (neighbor, edge weight) *)
+}
+
+let make ~vertex_weights ~edges =
+  let n = Array.length vertex_weights in
+  let table = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Graph.make: bad edge";
+      if u <> v then begin
+        let key = (min u v, max u v) in
+        Hashtbl.replace table key
+          (w + Option.value ~default:0 (Hashtbl.find_opt table key))
+      end)
+    edges;
+  let adjacency = Array.make n [] in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      adjacency.(u) <- (v, w) :: adjacency.(u);
+      adjacency.(v) <- (u, w) :: adjacency.(v))
+    table;
+  { weights = Array.copy vertex_weights; adjacency }
+
+let vertex_count g = Array.length g.weights
+let vertex_weight g v = g.weights.(v)
+let total_weight g = Array.fold_left ( + ) 0 g.weights
+let neighbors g v = g.adjacency.(v)
+
+let edge_weight g u v =
+  match List.assoc_opt v g.adjacency.(u) with Some w -> w | None -> 0
+
+let edge_cut g assignment =
+  let cut = ref 0 in
+  Array.iteri
+    (fun u adj ->
+      List.iter
+        (fun (v, w) -> if u < v && assignment.(u) <> assignment.(v) then cut := !cut + w)
+        adj)
+    g.adjacency;
+  !cut
+
+let coarsen g ~matching =
+  let n = vertex_count g in
+  let coarse_of = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if coarse_of.(v) = -1 then begin
+      let partner = matching.(v) in
+      coarse_of.(v) <- !next;
+      if partner <> v then coarse_of.(partner) <- !next;
+      incr next
+    end
+  done;
+  let weights = Array.make !next 0 in
+  for v = 0 to n - 1 do
+    weights.(coarse_of.(v)) <- weights.(coarse_of.(v)) + g.weights.(v)
+  done;
+  let edges = ref [] in
+  Array.iteri
+    (fun u adj ->
+      List.iter
+        (fun (v, w) ->
+          if u < v && coarse_of.(u) <> coarse_of.(v) then
+            edges := (coarse_of.(u), coarse_of.(v), w) :: !edges)
+        adj)
+    g.adjacency;
+  (make ~vertex_weights:weights ~edges:!edges, coarse_of)

@@ -1,0 +1,27 @@
+(** Undirected weighted graphs for the k-way partitioning algorithms.
+
+    Vertices are dense integers; parallel edges are merged by summing
+    weights; self-loops are ignored. *)
+
+type t
+
+val make : vertex_weights:int array -> edges:(int * int * int) list -> t
+(** [(u, v, w)] edge list. *)
+
+val vertex_count : t -> int
+val vertex_weight : t -> int -> int
+val total_weight : t -> int
+val neighbors : t -> int -> (int * int) list
+(** [(neighbor, edge weight)] pairs. *)
+
+val edge_weight : t -> int -> int -> int
+(** 0 when not adjacent. *)
+
+val edge_cut : t -> int array -> int
+(** Sum of weights of edges whose endpoints lie in different parts of
+    the assignment. *)
+
+val coarsen : t -> matching:int array -> t * int array
+(** [coarsen g ~matching] — [matching.(v)] is the partner of [v] (or [v]
+    itself).  Returns the coarser graph and the map from fine to coarse
+    vertex indices. *)

@@ -1,0 +1,179 @@
+type result = { assignment : int array; cut : int }
+
+let part_weights g assignment k =
+  let w = Array.make k 0 in
+  Array.iteri (fun v p -> w.(p) <- w.(p) + Graph.vertex_weight g v) assignment;
+  w
+
+let weight_limit ?(imbalance = 0.25) ~k g =
+  let l = (1. +. imbalance) *. float_of_int (Graph.total_weight g) /. float_of_int k in
+  let max_single =
+    Array.fold_left max 0 (Array.init (Graph.vertex_count g) (Graph.vertex_weight g))
+  in
+  (* A part can never be required to be lighter than its heaviest vertex. *)
+  Float.max l (float_of_int max_single)
+
+let is_balanced ?imbalance ~k g assignment =
+  let limit = weight_limit ?imbalance ~k g in
+  Array.for_all
+    (fun w -> float_of_int w <= limit +. 1e-9)
+    (part_weights g assignment k)
+
+(* Gain of moving v to part p: cut reduction. *)
+let move_gain g assignment v p =
+  let gain = ref 0 in
+  List.iter
+    (fun (u, w) ->
+      if assignment.(u) = assignment.(v) then gain := !gain - w
+      else if assignment.(u) = p then gain := !gain + w)
+    (Graph.neighbors g v);
+  !gain
+
+let refine ?imbalance ~k g assignment =
+  let limit = weight_limit ?imbalance ~k g in
+  let weights = part_weights g assignment k in
+  let counts = Array.make k 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) assignment;
+  let improvement = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for v = 0 to Graph.vertex_count g - 1 do
+      let from = assignment.(v) in
+      if counts.(from) > 1 then begin
+        let best = ref None in
+        List.iter
+          (fun (u, _) ->
+            let p = assignment.(u) in
+            if p <> from then begin
+              let gain = move_gain g assignment v p in
+              let new_weight = weights.(p) + Graph.vertex_weight g v in
+              let balanced = float_of_int new_weight <= limit +. 1e-9 in
+              let improves_balance = new_weight < weights.(from) in
+              if gain > 0 && balanced then begin
+                match !best with
+                | Some (bg, _) when bg >= gain -> ()
+                | Some _ | None -> best := Some (gain, p)
+              end
+              else if gain = 0 && balanced && improves_balance then
+                match !best with Some _ -> () | None -> best := Some (0, p)
+            end)
+          (Graph.neighbors g v);
+        match !best with
+        | Some (gain, p) ->
+          weights.(from) <- weights.(from) - Graph.vertex_weight g v;
+          weights.(p) <- weights.(p) + Graph.vertex_weight g v;
+          counts.(from) <- counts.(from) - 1;
+          counts.(p) <- counts.(p) + 1;
+          assignment.(v) <- p;
+          improvement := !improvement + gain;
+          if gain > 0 then progress := true
+        | None -> ()
+      end
+    done
+  done;
+  !improvement
+
+(* Heavy-edge matching in a deterministic shuffled order. *)
+let heavy_edge_matching prng g =
+  let n = Graph.vertex_count g in
+  let order = Array.init n (fun i -> i) in
+  Util.Prng.shuffle prng order;
+  let matching = Array.init n (fun i -> i) in
+  let matched = Array.make n false in
+  Array.iter
+    (fun v ->
+      if not matched.(v) then begin
+        let best = ref None in
+        List.iter
+          (fun (u, w) ->
+            if not matched.(u) then
+              match !best with
+              | Some (bw, _) when bw >= w -> ()
+              | Some _ | None -> best := Some (w, u))
+          (Graph.neighbors g v);
+        match !best with
+        | Some (_, u) ->
+          matched.(v) <- true;
+          matched.(u) <- true;
+          matching.(v) <- u;
+          matching.(u) <- v
+        | None -> matched.(v) <- true
+      end)
+    order;
+  matching
+
+(* Initial partitioning of the coarsest graph: longest-processing-time
+   placement by decreasing vertex weight, then seed any empty parts. *)
+let initial_partition prng g k =
+  let n = Graph.vertex_count g in
+  let order = Array.init n (fun i -> i) in
+  Util.Prng.shuffle prng order;
+  Array.sort
+    (fun a b -> compare (Graph.vertex_weight g b) (Graph.vertex_weight g a))
+    order;
+  let assignment = Array.make n 0 in
+  let weights = Array.make k 0 in
+  Array.iter
+    (fun v ->
+      let lightest = ref 0 in
+      for p = 1 to k - 1 do
+        if weights.(p) < weights.(!lightest) then lightest := p
+      done;
+      assignment.(v) <- !lightest;
+      weights.(!lightest) <- weights.(!lightest) + Graph.vertex_weight g v)
+    order;
+  let counts = Array.make k 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) assignment;
+  for p = 0 to k - 1 do
+    if counts.(p) = 0 then begin
+      let donor = ref 0 in
+      for q = 1 to k - 1 do
+        if counts.(q) > counts.(!donor) then donor := q
+      done;
+      let v = ref (-1) in
+      Array.iteri (fun i q -> if !v = -1 && q = !donor && counts.(!donor) > 1 then v := i) assignment;
+      if !v >= 0 then begin
+        assignment.(!v) <- p;
+        counts.(!donor) <- counts.(!donor) - 1;
+        counts.(p) <- counts.(p) + 1
+      end
+    end
+  done;
+  assignment
+
+let partition ?(seed = 1) ?imbalance ~k g =
+  let n = Graph.vertex_count g in
+  if k < 1 then invalid_arg "Kway.partition: k must be >= 1";
+  if k > n then invalid_arg "Kway.partition: k exceeds vertex count";
+  if k = 1 then { assignment = Array.make n 0; cut = 0 }
+  else begin
+    let prng = Util.Prng.create seed in
+    (* Coarsening, keeping every intermediate graph for projection. *)
+    let rec coarsen_all g levels =
+      if Graph.vertex_count g <= max (4 * k) 20 then (g, levels)
+      else begin
+        let matching = heavy_edge_matching prng g in
+        let coarser, coarse_of = Graph.coarsen g ~matching in
+        if Graph.vertex_count coarser = Graph.vertex_count g then (g, levels)
+        else coarsen_all coarser ((g, coarse_of) :: levels)
+      end
+    in
+    let coarsest, levels = coarsen_all g [] in
+    let assignment = initial_partition prng coarsest k in
+    ignore (refine ?imbalance ~k coarsest assignment);
+    (* Uncoarsening: project each coarse assignment onto the finer graph
+       and refine there, where more moves are available. *)
+    let final =
+      List.fold_left
+        (fun coarse_assignment (fine_graph, coarse_of) ->
+          let fine_assignment =
+            Array.init (Graph.vertex_count fine_graph) (fun v ->
+                coarse_assignment.(coarse_of.(v)))
+          in
+          ignore (refine ?imbalance ~k fine_graph fine_assignment);
+          fine_assignment)
+        assignment levels
+    in
+    { assignment = final; cut = Graph.edge_cut g final }
+  end

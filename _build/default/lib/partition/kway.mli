@@ -1,0 +1,24 @@
+(** Multilevel k-way graph partitioning (Karypis–Kumar style, thesis
+    §6.3.3).
+
+    Three phases: heavy-edge-matching coarsening, greedy initial
+    partitioning of the coarsest graph, and uncoarsening with
+    Kernighan–Lin-style boundary refinement at every level.  The goal is
+    k parts of roughly equal vertex weight with minimum edge cut. *)
+
+type result = {
+  assignment : int array;  (** vertex → part in [0, k) *)
+  cut : int;  (** total weight of cut edges *)
+}
+
+val partition : ?seed:int -> ?imbalance:float -> k:int -> Graph.t -> result
+(** [partition ~k g] — [imbalance] (default 0.25) bounds each part's
+    weight by (1+imbalance)·total/k where achievable.  [k] must be ≥ 1
+    and ≤ vertex count; every part is non-empty. *)
+
+val is_balanced : ?imbalance:float -> k:int -> Graph.t -> int array -> bool
+(** The balance predicate used internally (exposed for tests). *)
+
+val refine : ?imbalance:float -> k:int -> Graph.t -> int array -> int
+(** One greedy boundary-refinement pass in place; returns the cut
+    improvement (≥ 0). *)

@@ -1,0 +1,1 @@
+lib/reconfig/algorithms.ml: Array Hashtbl Ir List Partition Problem String Util

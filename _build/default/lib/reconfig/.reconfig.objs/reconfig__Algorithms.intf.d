@@ -1,0 +1,1 @@
+lib/reconfig/algorithms.mli: Partition Problem

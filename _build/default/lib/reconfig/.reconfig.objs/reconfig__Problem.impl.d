@@ -1,0 +1,1 @@
+lib/reconfig/problem.ml: Array Hashtbl Ir List Option Printf Util

@@ -1,0 +1,1 @@
+lib/reconfig/problem.mli: Ir

@@ -1,0 +1,1 @@
+lib/reconfig/synthetic.ml: Array Float Hashtbl Ir List Option Printf Problem String Util

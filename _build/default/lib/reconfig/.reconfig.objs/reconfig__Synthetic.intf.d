@@ -1,0 +1,1 @@
+lib/reconfig/synthetic.mli: Problem

@@ -1,0 +1,49 @@
+(** Partitioning algorithms for runtime reconfiguration (thesis §6.3).
+
+    - {!spatial_select} — Algorithm 7: pseudo-polynomial DP choosing one
+      CIS version per loop to maximise gain under an area budget.
+    - {!iterative} — Algorithm 6: for every configuration count k, a
+      global spatial pass over a virtual area k·MaxA, temporal k-way
+      partitioning of the reconfiguration-cost graph (with and without
+      the CIS selection), and a local spatial patch-up per
+      configuration; the best net gain over all k wins.
+    - {!greedy} — Algorithm 8: build one configuration at a time, always
+      adding the version with the best expected net gain.
+    - {!exhaustive} — optimal search over all set partitions of the hot
+      loops (infeasible beyond ~12 loops, as Table 6.1/Figure 6.8
+      report). *)
+
+val spatial_select :
+  loops:Problem.hot_loop list -> area:int -> (string * int) list
+(** Gain-maximal version index per loop under a total area budget. *)
+
+val iterative :
+  ?seed:int -> ?imbalances:float list -> Problem.t -> Problem.placement
+(** The chapter's main algorithm.  [imbalances] is the portfolio of
+    balance tolerances tried in the temporal phase (default
+    [[0.25; 1.0; 3.0]]; the first value is the thesis's equal-weight
+    heuristic) — exposed for the ablation study. *)
+
+val greedy : Problem.t -> Problem.placement
+
+val exhaustive : ?max_partitions:int -> Problem.t -> Problem.placement option
+(** [None] when the number of set partitions exceeds [max_partitions]
+    (default 500_000) — the search is refused rather than silently
+    truncated.
+
+    Semantics, exactly as the thesis defines its exhaustive search
+    (§6.4): optimal over placements of the form "set partition of the
+    loops + gain-maximal version selection per configuration".  This
+    dominates {!iterative} for any grouping it shares, but it is not the
+    global optimum of the problem: per-configuration gain-max selection
+    never leaves a profitable loop in software, whereas doing so can
+    occasionally pay by erasing that loop's trace adjacencies — both
+    {!greedy} and (rarely) {!iterative} can exploit that and edge past
+    it. *)
+
+val rcg :
+  Problem.t -> keep:(string -> bool) -> weight_of:(string -> int) ->
+  string array * Partition.Graph.t
+(** The reconfiguration-cost graph of the kept loops: vertex order and
+    graph (exposed for tests: the edge weights are the trace's
+    adjacent-pair counts after erasing non-kept loops). *)

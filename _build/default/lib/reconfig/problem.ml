@@ -1,0 +1,84 @@
+type version = { gain : int; area : int }
+
+type hot_loop = { name : string; versions : version array }
+
+let loop name points =
+  let sorted = List.sort (fun (_, a1) (_, a2) -> compare a1 a2) points in
+  let rec validate prev = function
+    | [] -> ()
+    | (g, a) :: rest ->
+      (match prev with
+       | Some (pg, pa) ->
+         if g <= pg || a <= pa then
+           invalid_arg
+             (Printf.sprintf "Problem.loop %s: versions must strictly improve" name)
+       | None -> if g <= 0 || a <= 0 then invalid_arg "Problem.loop: non-positive version");
+      validate (Some (g, a)) rest
+  in
+  validate None sorted;
+  { name;
+    versions =
+      Array.of_list
+        ({ gain = 0; area = 0 } :: List.map (fun (gain, area) -> { gain; area }) sorted) }
+
+type t = {
+  loops : hot_loop list;
+  trace : Ir.Trace.t;
+  max_area : int;
+  reconfig_cost : int;
+}
+
+type placement = {
+  version_of : (string * int) list;
+  config_of : (string * int) list;
+}
+
+let find_loop t name =
+  match List.find_opt (fun l -> l.name = name) t.loops with
+  | Some l -> l
+  | None -> raise Not_found
+
+let software_placement t =
+  { version_of = List.map (fun l -> (l.name, 0)) t.loops; config_of = [] }
+
+let num_configs p =
+  List.map snd p.config_of |> List.sort_uniq compare |> List.length
+
+let version_of t p name =
+  let l = find_loop t name in
+  l.versions.(List.assoc name p.version_of)
+
+let feasible t p =
+  (* one version per loop, in range *)
+  List.for_all
+    (fun l ->
+      match List.assoc_opt l.name p.version_of with
+      | Some v -> v >= 0 && v < Array.length l.versions
+      | None -> false)
+    t.loops
+  && List.length p.version_of = List.length t.loops
+  (* hardware loops have configurations, software loops do not *)
+  && List.for_all
+       (fun (name, v) ->
+         let in_config = List.mem_assoc name p.config_of in
+         if v > 0 then in_config else not in_config)
+       p.version_of
+  (* per-configuration capacity *)
+  &&
+  let config_area = Hashtbl.create 8 in
+  List.iter
+    (fun (name, c) ->
+      let area = (version_of t p name).area in
+      Hashtbl.replace config_area c
+        (area + Option.value ~default:0 (Hashtbl.find_opt config_area c)))
+    p.config_of;
+  Hashtbl.fold (fun _ area acc -> acc && area <= t.max_area) config_area true
+
+let raw_gain t p =
+  Util.Numeric.sum_by (fun (name, _) -> (version_of t p name).gain) p.version_of
+
+let reconfigurations t p =
+  let config_of name = List.assoc_opt name p.config_of in
+  Ir.Trace.reconfigurations ~config_of t.trace
+
+let net_gain t p = raw_gain t p - (reconfigurations t p * t.reconfig_cost)

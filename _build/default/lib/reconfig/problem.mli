@@ -1,0 +1,58 @@
+(** The partitioning problem for runtime reconfiguration of custom
+    instructions (thesis §6.2).
+
+    An application's hot loops each come with several custom-instruction
+    set (CIS) {e versions} trading performance gain against area; version
+    0 is always the software version (0 gain, 0 area).  The fabric holds
+    one {e configuration} of at most [max_area] at a time; switching
+    configurations costs [reconfig_cost] cycles.  A solution selects one
+    version per loop and clubs the hardware-mapped loops into
+    configurations; its net gain is total version gain minus the
+    reconfiguration cycles incurred when the profiled loop trace is
+    replayed against the placement. *)
+
+type version = { gain : int; area : int }
+
+type hot_loop = {
+  name : string;
+  versions : version array;
+      (** version 0 is software (0, 0); gains and areas strictly increase *)
+}
+
+val loop : string -> (int * int) list -> hot_loop
+(** [loop name [(gain, area); ...]] — software version added and points
+    sorted/validated ([Invalid_argument] on a non-monotone curve). *)
+
+type t = {
+  loops : hot_loop list;
+  trace : Ir.Trace.t;
+  max_area : int;  (** capacity of one configuration *)
+  reconfig_cost : int;  (** cycles per fabric reload *)
+}
+
+type placement = {
+  version_of : (string * int) list;  (** chosen version index per loop *)
+  config_of : (string * int) list;
+      (** configuration id per hardware-mapped loop (version > 0) *)
+}
+
+val software_placement : t -> placement
+
+val num_configs : placement -> int
+
+val feasible : t -> placement -> bool
+(** Every loop has exactly one valid version; every hardware loop is in a
+    configuration; each configuration's summed version area fits
+    [max_area]. *)
+
+val raw_gain : t -> placement -> int
+(** Σ selected version gains, before reconfiguration cost. *)
+
+val reconfigurations : t -> placement -> int
+(** Fabric reloads counted by replaying the trace. *)
+
+val net_gain : t -> placement -> int
+(** [raw_gain − reconfigurations × reconfig_cost]. *)
+
+val version_of : t -> placement -> string -> version
+val find_loop : t -> string -> hot_loop

@@ -1,0 +1,80 @@
+let max_area = 128
+let reconfig_cost = 500
+
+let generate ~seed ~loops:n =
+  if n < 2 then invalid_arg "Synthetic.generate: need at least 2 loops";
+  let prng = Util.Prng.create seed in
+  let name i = Printf.sprintf "loop%02d" i in
+  let loops =
+    List.init n (fun i ->
+        let n_versions = Util.Prng.in_range prng 1 9 in
+        let areas =
+          List.init n_versions (fun _ -> Util.Prng.in_range prng 1 100)
+          |> List.sort_uniq compare
+        in
+        let gains =
+          List.init (List.length areas) (fun _ -> Util.Prng.in_range prng 1000 10_000)
+          |> List.sort_uniq compare
+        in
+        (* pair sorted areas with sorted gains: versions strictly improve *)
+        let k = min (List.length areas) (List.length gains) in
+        let take k l = List.filteri (fun i _ -> i < k) l in
+        Problem.loop (name i) (List.combine (take k gains) (take k areas)))
+  in
+  (* Random adjacency counts, then parity repair (each odd-degree pair
+     bumped by one) and connectivity repair (bridge components with an
+     even count) so an Eulerian circuit exists. *)
+  let counts = Hashtbl.create 64 in
+  let bump a b by =
+    let key = if a <= b then (a, b) else (b, a) in
+    Hashtbl.replace counts key (by + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Util.Prng.float prng 1.0 < Float.min 1.0 (6.0 /. float_of_int n) then
+        bump (name i) (name j) (Util.Prng.in_range prng 1 12)
+    done
+  done;
+  (* connectivity: chain all loops with an even count where isolated *)
+  let degree = Hashtbl.create 16 in
+  let add_degree v d =
+    Hashtbl.replace degree v (d + Option.value ~default:0 (Hashtbl.find_opt degree v))
+  in
+  Hashtbl.iter (fun (a, b) c -> add_degree a c; add_degree b c) counts;
+  (* union-find over loop indices *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      let ia = int_of_string (String.sub a 4 2)
+      and ib = int_of_string (String.sub b 4 2) in
+      parent.(find ia) <- find ib)
+    counts;
+  for i = 1 to n - 1 do
+    if find i <> find 0 then begin
+      bump (name 0) (name i) 2;
+      parent.(find i) <- find 0
+    end
+  done;
+  (* parity repair *)
+  let recompute_degrees () =
+    Hashtbl.reset degree;
+    Hashtbl.iter (fun (a, b) c -> add_degree a c; add_degree b c) counts
+  in
+  recompute_degrees ();
+  let odd =
+    List.init n (fun i -> name i)
+    |> List.filter (fun v -> Option.value ~default:0 (Hashtbl.find_opt degree v) mod 2 = 1)
+  in
+  let rec pair_up = function
+    | a :: b :: rest ->
+      bump a b 1;
+      pair_up rest
+    | [ _ ] -> assert false (* odd count of odd-degree vertices is impossible *)
+    | [] -> ()
+  in
+  pair_up odd;
+  let trace =
+    Ir.Trace.of_pair_counts (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+  in
+  { Problem.loops; trace; max_area; reconfig_cost }

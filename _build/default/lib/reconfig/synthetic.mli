@@ -1,0 +1,14 @@
+(** Synthetic problem instances for the scalability study (thesis
+    §6.4.1): 5–100 hot loops, 1–10 CIS versions per loop with gains in
+    [1000, 10000] time units and areas in [1, 100] (monotone in gain),
+    random reconfiguration adjacencies realised as an actual loop trace
+    (Eulerian walk), so that trace replay and RCG edge-cut agree by
+    construction. *)
+
+val generate : seed:int -> loops:int -> Problem.t
+
+val max_area : int
+(** Per-configuration capacity used by the generator. *)
+
+val reconfig_cost : int
+(** Per-reload cost used by the generator. *)

@@ -1,0 +1,1 @@
+lib/rt/energy.ml: List Option Sched Util

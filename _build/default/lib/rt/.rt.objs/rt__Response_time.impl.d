@@ -1,0 +1,1 @@
+lib/rt/response_time.ml: Array List Util

@@ -1,0 +1,1 @@
+lib/rt/response_time.mli:

@@ -1,0 +1,1 @@
+lib/rt/sched.ml: Array Int List Set Util

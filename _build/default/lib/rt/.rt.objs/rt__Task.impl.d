@@ -1,0 +1,1 @@
+lib/rt/task.ml: Float Format Isa List Util

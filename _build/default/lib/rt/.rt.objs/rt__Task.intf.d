@@ -1,0 +1,1 @@
+lib/rt/task.mli: Format Isa

@@ -1,0 +1,31 @@
+type level = { mhz : int; volt : float }
+
+let tm5400 =
+  [ { mhz = 300; volt = 1.2 }; { mhz = 366; volt = 1.3 };
+    { mhz = 433; volt = 1.35 }; { mhz = 500; volt = 1.4 };
+    { mhz = 533; volt = 1.45 }; { mhz = 600; volt = 1.5 };
+    { mhz = 633; volt = 1.6 } ]
+
+let fmax = { mhz = 633; volt = 1.6 }
+
+type policy = Edf | Rms
+
+let bound policy n_tasks =
+  match policy with
+  | Edf -> 1.0
+  | Rms -> Sched.liu_layland_bound n_tasks
+
+let static_scale policy ~n_tasks u =
+  let limit = bound policy n_tasks in
+  let feasible level =
+    u *. (float_of_int fmax.mhz /. float_of_int level.mhz) <= limit
+  in
+  List.find_opt feasible tm5400
+
+let energy_per_hyperperiod ~cycles level = cycles *. level.volt *. level.volt
+
+let saving_percent policy ~n_tasks ~base:(u_b, cycles_b) ~custom:(u_c, cycles_c) =
+  let level_of u = Option.value ~default:fmax (static_scale policy ~n_tasks u) in
+  let e_b = energy_per_hyperperiod ~cycles:cycles_b (level_of u_b) in
+  let e_c = energy_per_hyperperiod ~cycles:cycles_c (level_of u_c) in
+  Util.Numeric.percent_change e_b e_c

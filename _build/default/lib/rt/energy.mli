@@ -1,0 +1,44 @@
+(** Energy model with static voltage scaling (thesis §3.2.2).
+
+    Lower processor utilization lets the operating point drop to a lower
+    frequency/voltage pair.  We use the Transmeta TM5400 operating points
+    the thesis used (300 MHz at 1.2 V up to 633 MHz at 1.6 V) and the
+    static voltage-scaling rule of Pillai–Shin: run at the lowest
+    frequency that keeps the task set schedulable — exactly (U ≤ 1) for
+    EDF, conservatively (Liu–Layland bound) for RMS, matching the
+    thesis's observation that RMS saves less energy because its scaling
+    test is sufficient-only.
+
+    Energy is reported in relative units: executed cycles × V², since
+    dynamic power ∝ f·V² and execution time ∝ cycles/f. *)
+
+type level = { mhz : int; volt : float }
+
+val tm5400 : level list
+(** Operating points, sorted by increasing frequency. *)
+
+val fmax : level
+(** The highest operating point (task periods are calibrated at this
+    frequency). *)
+
+type policy = Edf | Rms
+
+val static_scale : policy -> n_tasks:int -> float -> level option
+(** [static_scale policy ~n_tasks u] — lowest level sustaining a task
+    set of utilization [u] (measured at {!fmax}); [None] when even
+    {!fmax} cannot (set unschedulable). *)
+
+val energy_per_hyperperiod : cycles:float -> level -> float
+(** Relative energy to execute [cycles] at a level: cycles × V². *)
+
+val saving_percent :
+  policy -> n_tasks:int ->
+  base:float * float -> custom:float * float -> float
+(** [saving_percent policy ~n_tasks ~base:(u_b, cycles_b)
+    ~custom:(u_c, cycles_c)] — percentage energy reduction of the
+    customized configuration over the baseline, each run at its own
+    statically-scaled operating point.  A configuration the conservative
+    scaling test cannot place (typical for RMS, whose Liu–Layland test
+    is sufficient-only) runs at {!fmax} — the caller guarantees actual
+    schedulability, exactly as in the thesis's setup where such sets
+    simply miss the scaling opportunity. *)

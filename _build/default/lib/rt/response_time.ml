@@ -1,0 +1,20 @@
+let response_time tasks i =
+  let c_i, p_i = tasks.(i) in
+  let rec iterate r =
+    let interference = ref 0 in
+    for j = 0 to i - 1 do
+      let c_j, p_j = tasks.(j) in
+      interference := !interference + (Util.Numeric.ceil_div r p_j * c_j)
+    done;
+    let r' = c_i + !interference in
+    if r' > p_i then None else if r' = r then Some r else iterate r'
+  in
+  if c_i > p_i then None else iterate c_i
+
+let schedulable tasks =
+  let sorted =
+    Array.of_list (List.sort (fun (_, p1) (_, p2) -> compare p1 p2) tasks)
+  in
+  let n = Array.length sorted in
+  let rec all i = i >= n || (response_time sorted i <> None && all (i + 1)) in
+  all 0

@@ -1,0 +1,17 @@
+(** Response-time analysis for fixed-priority scheduling.
+
+    The classic Joseph–Pandya recurrence: the worst-case response time of
+    task i is the least fixed point of
+    R = Cᵢ + Σ_{j higher priority} ⌈R/Pⱼ⌉·Cⱼ.
+    For synchronous periodic tasks with deadline = period this is exact,
+    so it must agree with Theorem 1's scheduling-point test — a property
+    the test suite checks.  Exposed as an independent second opinion on
+    the RMS machinery. *)
+
+val response_time : (int * int) array -> int -> int option
+(** [response_time tasks i] — tasks sorted by increasing period (=
+    decreasing priority); worst-case response time of task [i], or
+    [None] when the recurrence diverges past the deadline. *)
+
+val schedulable : (int * int) list -> bool
+(** Every task's response time is within its period. *)

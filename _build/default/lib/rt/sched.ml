@@ -1,0 +1,50 @@
+module IntSet = Set.Make (Int)
+
+let total_utilization tasks =
+  Util.Numeric.sum_byf
+    (fun (c, p) -> float_of_int c /. float_of_int p)
+    tasks
+
+let edf_schedulable tasks = total_utilization tasks <= 1.
+
+(* S_j(t) of Theorem 1: scheduling points for interference from the j
+   highest-priority tasks.  Points that collapse to 0 are dropped (they
+   correspond to no positive deadline and make the test vacuous). *)
+let scheduling_points tasks j t =
+  let rec s j t acc =
+    if t <= 0 then acc
+    else if j = 0 then IntSet.add t acc
+    else
+      let _, p = tasks.(j - 1) in
+      let acc = s (j - 1) (t / p * p) acc in
+      s (j - 1) t acc
+  in
+  s j t IntSet.empty
+
+let rms_schedulable_prefix tasks i =
+  let _, pi = tasks.(i) in
+  let workload t =
+    let w = ref 0 in
+    for j = 0 to i do
+      let c, p = tasks.(j) in
+      w := !w + (Util.Numeric.ceil_div t p * c)
+    done;
+    !w
+  in
+  IntSet.exists (fun t -> workload t <= t) (scheduling_points tasks i pi)
+
+let sort_by_period tasks =
+  Array.of_list (List.sort (fun (_, p1) (_, p2) -> compare p1 p2) tasks)
+
+let rms_schedulable tasks =
+  let sorted = sort_by_period tasks in
+  let n = Array.length sorted in
+  let rec all i = i >= n || (rms_schedulable_prefix sorted i && all (i + 1)) in
+  all 0
+
+let liu_layland_bound n =
+  if n <= 0 then 0.
+  else float_of_int n *. ((2. ** (1. /. float_of_int n)) -. 1.)
+
+let rms_schedulable_ll tasks =
+  total_utilization tasks <= liu_layland_bound (List.length tasks)

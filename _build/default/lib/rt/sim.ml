@@ -1,0 +1,81 @@
+type policy = Edf | Fixed_priority
+
+type outcome = { deadline_misses : int; preemptions : int; idle : int }
+
+type job = { task : int; deadline : int; mutable remaining : int }
+
+let run ?horizon ~policy tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  Array.iter (fun (c, p) -> if c < 0 || p <= 0 then invalid_arg "Sim.run") tasks;
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+      let h = Util.Numeric.lcm_list (Array.to_list tasks |> List.map snd) in
+      min h 100_000_000
+  in
+  (* Priority ranks for fixed priority: shorter period = higher priority. *)
+  let rank = Array.make n 0 in
+  let by_period = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (snd tasks.(a)) (snd tasks.(b))) by_period;
+  Array.iteri (fun r t -> rank.(t) <- r) by_period;
+  let next_release = Array.make n 0 in
+  let active : job option array = Array.make n None in
+  let misses = ref 0 and preemptions = ref 0 and idle = ref 0 in
+  let last_run = ref (-1) in
+  let time = ref 0 in
+  while !time < horizon do
+    (* Release pending jobs; an unfinished previous job has, by deadline =
+       period, just missed its deadline. *)
+    for i = 0 to n - 1 do
+      if next_release.(i) <= !time then begin
+        (match active.(i) with
+         | Some j when j.remaining > 0 -> incr misses
+         | Some _ | None -> ());
+        let c, p = tasks.(i) in
+        active.(i) <- Some { task = i; deadline = !time + p; remaining = c };
+        next_release.(i) <- !time + p
+      end
+    done;
+    let upcoming = Array.fold_left min max_int next_release in
+    let ready =
+      Array.to_list active
+      |> List.filter_map (fun j ->
+             match j with Some j when j.remaining > 0 -> Some j | _ -> None)
+    in
+    let better a b =
+      match policy with
+      | Edf -> if a.deadline <> b.deadline then a.deadline < b.deadline
+               else rank.(a.task) < rank.(b.task)
+      | Fixed_priority -> rank.(a.task) < rank.(b.task)
+    in
+    (match ready with
+     | [] ->
+       let until = min upcoming horizon in
+       idle := !idle + (until - !time);
+       last_run := -1;
+       time := until
+     | j0 :: rest ->
+       let chosen = List.fold_left (fun a b -> if better b a then b else a) j0 rest in
+       if !last_run >= 0 && !last_run <> chosen.task then begin
+         (* Resuming a different task while the previous one is unfinished. *)
+         match active.(!last_run) with
+         | Some prev when prev.remaining > 0 -> incr preemptions
+         | Some _ | None -> ()
+       end;
+       let until = min (min upcoming ( !time + chosen.remaining)) horizon in
+       chosen.remaining <- chosen.remaining - (until - !time);
+       last_run := chosen.task;
+       time := until)
+  done;
+  (* Jobs whose deadline falls exactly at the horizon are judged too. *)
+  Array.iter
+    (function
+      | Some j when j.remaining > 0 && j.deadline <= horizon -> incr misses
+      | Some _ | None -> ())
+    active;
+  { deadline_misses = !misses; preemptions = !preemptions; idle = !idle }
+
+let schedulable ?horizon ~policy tasks =
+  (run ?horizon ~policy tasks).deadline_misses = 0

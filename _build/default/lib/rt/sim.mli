@@ -1,0 +1,25 @@
+(** Discrete-event preemptive uniprocessor scheduler simulation.
+
+    Cross-validates the analytic schedulability tests: a task set passes
+    the exact RMS test iff no job misses a deadline when simulated under
+    fixed priorities over the hyperperiod, and likewise for EDF and the
+    utilization bound.  Used by the property-based test suite, not by the
+    selection algorithms themselves. *)
+
+type policy = Edf | Fixed_priority
+(** [Fixed_priority] assigns priorities by increasing period (RMS). *)
+
+type outcome = {
+  deadline_misses : int;
+  preemptions : int;
+  idle : int;  (** idle cycles over the simulated horizon *)
+}
+
+val run : ?horizon:int -> policy:policy -> (int * int) list -> outcome
+(** [run ~policy tasks] simulates [(cycles, period)] tasks released
+    synchronously at time 0 with deadlines equal to periods.  The default
+    horizon is the hyperperiod (capped at 10^8 cycles; the cap is only a
+    guard against pathological task sets in generated tests). *)
+
+val schedulable : ?horizon:int -> policy:policy -> (int * int) list -> bool
+(** No deadline miss over the horizon. *)

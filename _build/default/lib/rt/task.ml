@@ -1,0 +1,30 @@
+type t = { name : string; period : int; wcet : int; curve : Isa.Config.t }
+
+let make ~name ~period curve =
+  if period <= 0 then invalid_arg "Task.make: period must be positive";
+  { name; period; wcet = Isa.Config.base_cycles curve; curve }
+
+let utilization t = float_of_int t.wcet /. float_of_int t.period
+
+let utilization_at t (p : Isa.Config.point) =
+  float_of_int p.cycles /. float_of_int t.period
+
+let set_utilization tasks = Util.Numeric.sum_byf utilization tasks
+
+let with_target_utilization target tasks =
+  if target <= 0. then invalid_arg "Task.with_target_utilization";
+  let n = List.length tasks in
+  let share = target /. float_of_int n in
+  List.map
+    (fun t ->
+      let period =
+        max 1 (int_of_float (Float.round (float_of_int t.wcet /. share)))
+      in
+      { t with period })
+    tasks
+
+let hyperperiod tasks = Util.Numeric.lcm_list (List.map (fun t -> t.period) tasks)
+
+let pp fmt t =
+  Format.fprintf fmt "%s(C=%d, P=%d, U=%.3f, %d configs)" t.name t.wcet t.period
+    (utilization t) (Isa.Config.size t.curve)

@@ -1,0 +1,35 @@
+(** Periodic real-time tasks (thesis §3.1.1).
+
+    A task releases a job every [period] cycles; each job needs [wcet]
+    cycles of the base processor and must finish by the end of its
+    period (deadline = period).  A task carries its configuration curve:
+    choosing configuration [j] changes the execution requirement to
+    [cycles_(i,j)] at silicon cost [area_(i,j)]. *)
+
+type t = {
+  name : string;
+  period : int;  (** in base-processor cycles *)
+  wcet : int;  (** software-only execution requirement *)
+  curve : Isa.Config.t;  (** area/cycles trade-off, point 0 = software *)
+}
+
+val make : name:string -> period:int -> Isa.Config.t -> t
+(** WCET is the curve's base cycle count.  Requires [period > 0]. *)
+
+val utilization : t -> float
+(** Software-only utilization [wcet / period]. *)
+
+val utilization_at : t -> Isa.Config.point -> float
+(** Utilization when running under the given configuration. *)
+
+val set_utilization : t list -> float
+(** Total software-only utilization of a task set. *)
+
+val with_target_utilization : float -> t list -> t list
+(** Rescale periods so the set's software-only utilization equals the
+    target, giving every task an equal utilization share — the
+    period-setting rule of §3.2 ([P_i = α_i·C_i]). *)
+
+val hyperperiod : t list -> int
+
+val pp : Format.formatter -> t -> unit

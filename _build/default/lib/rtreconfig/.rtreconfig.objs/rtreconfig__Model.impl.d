@@ -1,0 +1,1 @@
+lib/rtreconfig/model.ml: Array Format Hashtbl List Option Printf Util

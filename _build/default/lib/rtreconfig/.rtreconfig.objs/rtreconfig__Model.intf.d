@@ -1,0 +1,1 @@
+lib/rtreconfig/model.mli: Format

@@ -1,0 +1,1 @@
+lib/rtreconfig/sim_check.ml: Array List Model Util

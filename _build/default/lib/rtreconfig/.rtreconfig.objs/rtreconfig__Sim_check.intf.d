@@ -1,0 +1,1 @@
+lib/rtreconfig/sim_check.mli: Model

@@ -1,0 +1,1 @@
+lib/rtreconfig/solvers.ml: Array List Model Util

@@ -1,0 +1,1 @@
+lib/rtreconfig/solvers.mli: Model

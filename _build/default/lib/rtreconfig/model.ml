@@ -1,0 +1,119 @@
+type version = { gain : int; area : int }
+
+type task = {
+  name : string;
+  period : int;
+  wcet : int;
+  versions : version array;
+}
+
+let task ~name ~period ~wcet points =
+  if period <= 0 || wcet <= 0 then invalid_arg "Model.task: bad parameters";
+  let sorted = List.sort (fun (_, a1) (_, a2) -> compare a1 a2) points in
+  let rec validate prev = function
+    | [] -> ()
+    | (g, a) :: rest ->
+      if g <= 0 || a <= 0 || g > wcet then
+        invalid_arg ("Model.task " ^ name ^ ": bad version");
+      (match prev with
+       | Some (pg, pa) ->
+         if g <= pg || a <= pa then
+           invalid_arg ("Model.task " ^ name ^ ": versions must strictly improve")
+       | None -> ());
+      validate (Some (g, a)) rest
+  in
+  validate None sorted;
+  { name; period; wcet;
+    versions =
+      Array.of_list
+        ({ gain = 0; area = 0 } :: List.map (fun (gain, area) -> { gain; area }) sorted) }
+
+type t = { tasks : task list; max_area : int; reconfig_cost : int }
+
+type placement = {
+  version_of : (string * int) list;
+  config_of : (string * int) list;
+}
+
+let software_placement t =
+  { version_of = List.map (fun tk -> (tk.name, 0)) t.tasks; config_of = [] }
+
+let find_task t name =
+  match List.find_opt (fun tk -> tk.name = name) t.tasks with
+  | Some tk -> tk
+  | None -> raise Not_found
+
+let version_of t p name = (find_task t name).versions.(List.assoc name p.version_of)
+
+let feasible t p =
+  List.for_all
+    (fun tk ->
+      match List.assoc_opt tk.name p.version_of with
+      | Some v -> v >= 0 && v < Array.length tk.versions
+      | None -> false)
+    t.tasks
+  && List.length p.version_of = List.length t.tasks
+  && List.for_all
+       (fun (name, v) ->
+         let in_config = List.mem_assoc name p.config_of in
+         if v > 0 then in_config else not in_config)
+       p.version_of
+  &&
+  let config_area = Hashtbl.create 8 in
+  List.iter
+    (fun (name, c) ->
+      let area = (version_of t p name).area in
+      Hashtbl.replace config_area c
+        (area + Option.value ~default:0 (Hashtbl.find_opt config_area c)))
+    p.config_of;
+  Hashtbl.fold (fun _ area acc -> acc && area <= t.max_area) config_area true
+
+(* Worst-case reloads of one job of hardware task tk: one load at
+   dispatch when another configuration exists, plus two per preemption by
+   a shorter-period hardware task of another configuration. *)
+let reload_cycles t p tk =
+  match List.assoc_opt tk.name p.config_of with
+  | None -> 0
+  | Some own ->
+    let foreign =
+      List.filter (fun (name, c) -> name <> tk.name && c <> own) p.config_of
+    in
+    if foreign = [] then 0
+    else
+      let preemptions =
+        Util.Numeric.sum_by
+          (fun (name, _) ->
+            let other = find_task t name in
+            if other.period < tk.period then
+              2 * Util.Numeric.ceil_div tk.period other.period
+            else 0)
+          foreign
+      in
+      t.reconfig_cost * (1 + preemptions)
+
+let effective_wcet t p tk =
+  let v = version_of t p tk.name in
+  tk.wcet - v.gain + reload_cycles t p tk
+
+let utilization t p =
+  Util.Numeric.sum_byf
+    (fun tk -> float_of_int (effective_wcet t p tk) /. float_of_int tk.period)
+    t.tasks
+
+let schedulable t p = utilization t p <= 1.
+
+let pp_placement t fmt p =
+  Format.fprintf fmt "@[<v>U=%.4f%s@," (utilization t p)
+    (if schedulable t p then "" else " (unschedulable)");
+  List.iter
+    (fun tk ->
+      let j = List.assoc tk.name p.version_of in
+      let config =
+        match List.assoc_opt tk.name p.config_of with
+        | Some c -> Printf.sprintf "config %d" c
+        | None -> "software"
+      in
+      Format.fprintf fmt "  %-10s v%d %-10s C'=%d@," tk.name j config
+        (effective_wcet t p tk))
+    t.tasks;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,65 @@
+(** Runtime reconfiguration for multi-tasking real-time systems —
+    problem model of thesis Chapter 7.
+
+    Periodic tasks share one reconfigurable CFU fabric.  Each task has
+    CIS versions (gain per job, area); hardware-mapped tasks are grouped
+    into {e configurations} of capacity [max_area].  When tasks from
+    different configurations interleave, the fabric must be reloaded at
+    a cost of [reconfig_cost] cycles per reload.
+
+    The full text of the chapter was not available to this reproduction,
+    so the reload accounting is reconstructed from the chapter's stated
+    constraint structure (uniqueness, resource, scheduling) and its EDF
+    setting, using standard worst-case preemption analysis: a job of a
+    hardware task Tᵢ pays one reload at dispatch if any hardware task
+    lives in another configuration, plus two reloads for every
+    preemption by a shorter-period hardware task of another
+    configuration (⌈Pᵢ/Pⱼ⌉ preemptions in the worst case).  Software
+    tasks never touch the fabric.  This preserves the chapter's
+    structure: grouping frequently-interleaving tasks into one
+    configuration is what the partitioning algorithms optimise.  The
+    reconstruction is recorded in DESIGN.md. *)
+
+type version = { gain : int; area : int }
+
+type task = {
+  name : string;
+  period : int;
+  wcet : int;  (** software execution requirement per job *)
+  versions : version array;  (** index 0 is software (0, 0) *)
+}
+
+val task : name:string -> period:int -> wcet:int -> (int * int) list -> task
+(** [(gain, area)] version points; validated like {!Reconfig.Problem.loop};
+    gains must not exceed the WCET. *)
+
+type t = {
+  tasks : task list;
+  max_area : int;
+  reconfig_cost : int;
+}
+
+type placement = {
+  version_of : (string * int) list;
+  config_of : (string * int) list;  (** hardware tasks only *)
+}
+
+val software_placement : t -> placement
+val find_task : t -> string -> task
+val feasible : t -> placement -> bool
+
+val reload_cycles : t -> placement -> task -> int
+(** Worst-case fabric-reload cycles charged to one job of the task under
+    the placement (0 for software tasks and single-configuration
+    placements). *)
+
+val effective_wcet : t -> placement -> task -> int
+(** WCET per job including worst-case reload overhead. *)
+
+val utilization : t -> placement -> float
+(** Σ effective WCET / period. *)
+
+val schedulable : t -> placement -> bool
+(** EDF test on effective WCETs: utilization ≤ 1. *)
+
+val pp_placement : t -> Format.formatter -> placement -> unit

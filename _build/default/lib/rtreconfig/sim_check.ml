@@ -1,0 +1,100 @@
+type outcome = { deadline_misses : int; reloads : int; busy : int }
+
+type job = {
+  task : int;
+  deadline : int;
+  mutable remaining : int;  (** computation left, excluding reloads *)
+  mutable reload_left : int;  (** reload cycles to serve before computing *)
+}
+
+let run ?horizon (t : Model.t) (p : Model.placement) =
+  let tasks = Array.of_list t.tasks in
+  let n = Array.length tasks in
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+      let h =
+        Util.Numeric.lcm_list (Array.to_list tasks |> List.map (fun tk -> tk.Model.period))
+      in
+      min h 100_000_000
+  in
+  let config_of = Array.map (fun tk -> List.assoc_opt tk.Model.name p.Model.config_of) tasks in
+  let cost =
+    Array.map
+      (fun tk ->
+        let v = tk.Model.versions.(List.assoc tk.Model.name p.Model.version_of) in
+        tk.Model.wcet - v.Model.gain)
+      tasks
+  in
+  let next_release = Array.make n 0 in
+  let active : job option array = Array.make n None in
+  let fabric = ref None in
+  let misses = ref 0 and reloads = ref 0 and busy = ref 0 in
+  let last_run = ref (-1) in
+  let time = ref 0 in
+  while !time < horizon do
+    for i = 0 to n - 1 do
+      if next_release.(i) <= !time then begin
+        (match active.(i) with
+         | Some j when j.remaining > 0 || j.reload_left > 0 -> incr misses
+         | Some _ | None -> ());
+        active.(i) <-
+          Some { task = i; deadline = !time + tasks.(i).Model.period;
+                 remaining = cost.(i); reload_left = 0 };
+        next_release.(i) <- !time + tasks.(i).Model.period
+      end
+    done;
+    let upcoming = Array.fold_left min max_int next_release in
+    let ready =
+      Array.to_list active
+      |> List.filter_map (fun j ->
+             match j with
+             | Some j when j.remaining > 0 || j.reload_left > 0 -> Some j
+             | _ -> None)
+    in
+    (match ready with
+     | [] ->
+       last_run := -1;
+       time := min upcoming horizon
+     | j0 :: rest ->
+       let chosen =
+         List.fold_left
+           (fun a b ->
+             if
+               b.deadline < a.deadline
+               || (b.deadline = a.deadline && b.task < a.task)
+             then b
+             else a)
+           j0 rest
+       in
+       (* dispatch/resume: reload the fabric if this hardware task's
+          configuration is not resident *)
+       if !last_run <> chosen.task then begin
+         match config_of.(chosen.task) with
+         | Some c when !fabric <> Some c ->
+           chosen.reload_left <- chosen.reload_left + t.reconfig_cost;
+           fabric := Some c;
+           incr reloads
+         | Some _ | None -> ()
+       end;
+       let work = chosen.reload_left + chosen.remaining in
+       let until = min (min upcoming (!time + work)) horizon in
+       let slice = until - !time in
+       let reload_served = min slice chosen.reload_left in
+       chosen.reload_left <- chosen.reload_left - reload_served;
+       let computed = slice - reload_served in
+       chosen.remaining <- chosen.remaining - computed;
+       busy := !busy + computed;
+       last_run := chosen.task;
+       time := until)
+  done;
+  Array.iter
+    (function
+      | Some j when (j.remaining > 0 || j.reload_left > 0) && j.deadline <= horizon ->
+        incr misses
+      | Some _ | None -> ())
+    active;
+  { deadline_misses = !misses; reloads = !reloads; busy = !busy }
+
+let schedulable ?horizon t p = (run ?horizon t p).deadline_misses = 0

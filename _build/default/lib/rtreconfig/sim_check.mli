@@ -1,0 +1,21 @@
+(** Reconfiguration-aware EDF schedule simulation.
+
+    Validates the Chapter 7 worst-case model: jobs execute their
+    version-reduced requirement, and whenever a hardware task is
+    dispatched or resumed while the fabric holds a different
+    configuration, the reload delay is served inline before useful work
+    continues.  The analytic model charges worst-case reload counts, so
+    a placement it declares schedulable must simulate without deadline
+    misses — the conservativeness property the test suite checks. *)
+
+type outcome = {
+  deadline_misses : int;
+  reloads : int;  (** fabric reconfigurations actually performed *)
+  busy : int;  (** cycles spent computing (excluding reloads) *)
+}
+
+val run : ?horizon:int -> Model.t -> Model.placement -> outcome
+(** Simulates from the synchronous release at time 0.  Default horizon:
+    the hyperperiod, capped at 10⁸ cycles. *)
+
+val schedulable : ?horizon:int -> Model.t -> Model.placement -> bool

@@ -1,0 +1,93 @@
+type t = { words : Bytes.t; capacity : int }
+
+let words_for cap = (cap + 7) / 8
+
+let create capacity =
+  assert (capacity >= 0);
+  { words = Bytes.make (words_for capacity) '\000'; capacity }
+
+let capacity t = t.capacity
+
+let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+
+let check t i = assert (i >= 0 && i < t.capacity)
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.words;
+  !n
+
+let is_empty t =
+  let result = ref true in
+  Bytes.iter (fun c -> if c <> '\000' then result := false) t.words;
+  !result
+
+let binop f dst src =
+  assert (dst.capacity = src.capacity);
+  for i = 0 to Bytes.length dst.words - 1 do
+    let a = Char.code (Bytes.get dst.words i)
+    and b = Char.code (Bytes.get src.words i) in
+    Bytes.set dst.words i (Char.chr (f a b land 0xff))
+  done
+
+let union_into dst src = binop ( lor ) dst src
+let inter_into dst src = binop ( land ) dst src
+let diff_into dst src = binop (fun a b -> a land lnot b) dst src
+
+let intersects a b =
+  assert (a.capacity = b.capacity);
+  let hit = ref false in
+  for i = 0 to Bytes.length a.words - 1 do
+    if Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i) <> 0 then
+      hit := true
+  done;
+  !hit
+
+let subset a b =
+  assert (a.capacity = b.capacity);
+  let ok = ref true in
+  for i = 0 to Bytes.length a.words - 1 do
+    let x = Char.code (Bytes.get a.words i) and y = Char.code (Bytes.get b.words i) in
+    if x land lnot y <> 0 then ok := false
+  done;
+  !ok
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.words b.words
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity elts =
+  let t = create capacity in
+  List.iter (set t) elts;
+  t

@@ -1,0 +1,34 @@
+type t = int
+
+let frac_bits = 16
+let scale = 1 lsl frac_bits
+let scale_f = float_of_int scale
+
+let of_float f = int_of_float (Float.round (f *. scale_f))
+let to_float x = float_of_int x /. scale_f
+let of_int n = n * scale
+let zero = 0
+let one = scale
+
+let add = ( + )
+let sub = ( - )
+let mul a b = (a * b) asr frac_bits
+let div a b = if b = 0 then raise Division_by_zero else (a lsl frac_bits) / b
+let neg x = -x
+let abs = Stdlib.abs
+let compare = Stdlib.compare
+
+(* Newton iteration on the underlying integer: sqrt(x * 2^16) of the raw
+   value gives the Q16.16 square root. *)
+let sqrt x =
+  assert (x >= 0);
+  if x = 0 then 0
+  else
+    let target = x lsl frac_bits in
+    let rec refine guess =
+      let next = (guess + (target / guess)) / 2 in
+      if next >= guess then guess else refine next
+    in
+    refine (max 1 (target / 2))
+
+let pp fmt x = Format.fprintf fmt "%.5f" (to_float x)

@@ -1,0 +1,30 @@
+(** Q16.16 fixed-point arithmetic.
+
+    Used by the bio-monitoring case study (thesis Chapter 8), where
+    floating-point signal-processing kernels are converted to fixed point
+    before customization — embedded cores without an FPU execute fixed
+    point natively and the conversion is what makes the kernels amenable
+    to custom instructions. *)
+
+type t
+(** A fixed-point number with 16 fractional bits. *)
+
+val of_float : float -> t
+val to_float : t -> float
+val of_int : int -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div _ b] raises [Division_by_zero] when [b] is {!zero}. *)
+
+val neg : t -> t
+val abs : t -> t
+val compare : t -> t -> int
+val sqrt : t -> t
+(** Integer Newton iteration; requires a non-negative argument. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+let rec gcd a b =
+  assert (a >= 0 && b >= 0);
+  if b = 0 then a else gcd b (a mod b)
+
+let gcd_list l = List.fold_left gcd 0 l
+
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b
+
+let lcm_list l = List.fold_left lcm 1 l
+
+let ceil_div a b =
+  assert (b > 0 && a >= 0);
+  (a + b - 1) / b
+
+let sum_by f l = List.fold_left (fun acc x -> acc + f x) 0 l
+
+let sum_byf f l = List.fold_left (fun acc x -> acc +. f x) 0. l
+
+let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
+
+let percent_change base v = if base = 0. then 0. else (base -. v) /. base *. 100.

@@ -1,0 +1,30 @@
+(** Small integer-arithmetic helpers shared across the library. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor; [gcd 0 n = n].  Arguments must be
+    non-negative. *)
+
+val gcd_list : int list -> int
+(** GCD of a list; 0 for the empty list. *)
+
+val lcm : int -> int -> int
+(** Least common multiple; [lcm 0 n = 0]. *)
+
+val lcm_list : int list -> int
+(** LCM of a list; 1 for the empty list. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is ⌈a / b⌉ for positive [b] and non-negative [a]. *)
+
+val sum_by : ('a -> int) -> 'a list -> int
+(** Integer sum of a projection over a list. *)
+
+val sum_byf : ('a -> float) -> 'a list -> float
+(** Float sum of a projection over a list. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** Restrict a value to the inclusive range [lo, hi]. *)
+
+val percent_change : float -> float -> float
+(** [percent_change base v] is [(base - v) / base * 100.]; 0 when [base]
+    is 0. *)

@@ -1,0 +1,51 @@
+type point = { cost : int; value : float }
+
+let dominates p q =
+  p.cost <= q.cost && p.value <= q.value && (p.cost < q.cost || p.value < q.value)
+
+let compare_points p q =
+  match compare p.cost q.cost with 0 -> compare p.value q.value | c -> c
+
+(* Sweep in increasing cost order; a point survives iff its value is
+   strictly below everything already kept (ties in cost keep the best
+   value only, thanks to the secondary sort). *)
+let front points =
+  let sorted = List.sort compare_points points in
+  let rec sweep best acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if p.value < best then sweep p.value (p :: acc) rest else sweep best acc rest
+  in
+  sweep infinity [] sorted
+
+let merge a b = front (a @ b)
+
+let is_front points =
+  let rec check prev = function
+    | [] -> true
+    | p :: rest ->
+      (match prev with
+       | None -> check (Some p) rest
+       | Some q -> q.cost < p.cost && q.value > p.value && check (Some p) rest)
+  in
+  check None points
+
+let eps_covers ~eps ~exact approx =
+  let covered p =
+    List.exists
+      (fun q ->
+        float_of_int q.cost <= (1. +. eps) *. float_of_int p.cost +. 1e-9
+        && q.value <= ((1. +. eps) *. p.value) +. 1e-9)
+      approx
+  in
+  List.for_all covered exact
+
+let best_value_at ~cost points =
+  List.fold_left
+    (fun best p ->
+      if p.cost > cost then best
+      else
+        match best with
+        | None -> Some p.value
+        | Some v -> Some (min v p.value))
+    None points

@@ -1,0 +1,32 @@
+(** Two-objective Pareto-front utilities (both objectives minimised).
+
+    Points are pairs [(cost, value)] — e.g. (hardware area, processor
+    cycles) — and a point [p] dominates [q] when both coordinates of [p]
+    are no larger than those of [q] and at least one is strictly
+    smaller. *)
+
+type point = { cost : int; value : float }
+
+val dominates : point -> point -> bool
+(** [dominates p q] — [p] is at least as good in both objectives and
+    strictly better in one. *)
+
+val front : point list -> point list
+(** Keep only non-dominated points, sorted by increasing cost (and, among
+    equal costs, keep the smallest value).  The result is strictly
+    decreasing in value as cost increases. *)
+
+val merge : point list -> point list -> point list
+(** Pareto front of the union of two fronts. *)
+
+val is_front : point list -> bool
+(** True when the list is sorted by increasing cost, has no duplicate
+    costs, and no point dominates another. *)
+
+val eps_covers : eps:float -> exact:point list -> point list -> bool
+(** [eps_covers ~eps ~exact approx] — every exact point [(c, v)] has some
+    approximate point [(c', v')] with [c' <= (1+eps) c] and
+    [v' <= (1+eps) v] (the Papadimitriou–Yannakakis ε-cover). *)
+
+val best_value_at : cost:int -> point list -> float option
+(** Smallest value achievable on the front at cost budget [cost]. *)

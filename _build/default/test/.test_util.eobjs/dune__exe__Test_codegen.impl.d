@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Ir Isa Ise Iterative Kernels List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Float Isa List QCheck QCheck_alcotest Rt Test_helpers

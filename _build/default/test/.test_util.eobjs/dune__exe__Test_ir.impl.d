@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Gen Ir List QCheck QCheck_alcotest String Test_helpers Util

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Ir Isa List QCheck QCheck_alcotest Test_helpers Util

@@ -1,0 +1,1 @@
+test/test_ise.ml: Alcotest Array Float Ir Isa Ise Kernels List QCheck QCheck_alcotest Test_helpers Util

@@ -1,0 +1,1 @@
+test/test_iterative.ml: Alcotest Ir Isa Ise Iterative Kernels List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_pareto.ml: Alcotest Array Float Kernels List Pareto Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_reconfig.ml: Alcotest Array Ir List QCheck QCheck_alcotest Reconfig Util

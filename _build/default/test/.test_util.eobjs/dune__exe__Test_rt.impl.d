@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Isa List QCheck QCheck_alcotest Rt Test_helpers

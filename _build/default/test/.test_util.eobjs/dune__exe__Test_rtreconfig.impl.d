@@ -1,0 +1,1 @@
+test/test_rtreconfig.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rtreconfig Util

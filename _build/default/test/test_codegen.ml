@@ -1,0 +1,196 @@
+module B = Ir.Dfg.Builder
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Dfg evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_arithmetic () =
+  check int "add" 7 (Ir.Eval.eval_node Ir.Op.Add [ 3; 4 ]);
+  check int "sub wraps" (Ir.Eval.mask32 (-1)) (Ir.Eval.eval_node Ir.Op.Sub [ 3; 4 ]);
+  check int "mul" 12 (Ir.Eval.eval_node Ir.Op.Mul [ 3; 4 ]);
+  check int "div by zero is 0" 0 (Ir.Eval.eval_node Ir.Op.Div [ 5; 0 ]);
+  check int "xor" 6 (Ir.Eval.eval_node Ir.Op.Xor [ 3; 5 ]);
+  check int "shl masks shift" 6 (Ir.Eval.eval_node Ir.Op.Shl [ 3; 33 ]);
+  check int "cmp true" 1 (Ir.Eval.eval_node Ir.Op.Cmp [ 2; 9 ]);
+  check int "cmp false" 0 (Ir.Eval.eval_node Ir.Op.Cmp [ 9; 2 ]);
+  check int "select then" 11 (Ir.Eval.eval_node Ir.Op.Select [ 1; 11; 22 ]);
+  check int "select else" 22 (Ir.Eval.eval_node Ir.Op.Select [ 0; 11; 22 ])
+
+let test_eval_block () =
+  (* (a + b) * a with a, b live-in *)
+  let b = B.create () in
+  let sum = B.add b Ir.Op.Add in
+  let prod = B.add_with b Ir.Op.Mul [ sum ] in
+  let dfg = B.finish b in
+  let env =
+    { Ir.Eval.live_in =
+        (fun node idx -> match (node, idx) with
+           | 0, 0 -> 5 | 0, 1 -> 7 | 1, _ -> 3 | _ -> 0);
+      memory = (fun _ -> 0);
+      const = (fun _ -> 0) }
+  in
+  let values = Ir.Eval.eval dfg env in
+  check int "sum" 12 values.(sum);
+  check int "prod (sum * live-in 3)" 36 values.(prod)
+
+let test_eval_deterministic () =
+  let prng = Util.Prng.create 3 in
+  let dfg = Kernels.Blockgen.block prng ~loads:3 ~stores:2 ~size:50 Kernels.Blockgen.dsp_mix in
+  let env = Ir.Eval.default_env ~seed:9 in
+  let a = Ir.Eval.eval dfg env and b = Ir.Eval.eval dfg env in
+  check bool "same values" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let block_of seed size =
+  let prng = Util.Prng.create seed in
+  Kernels.Blockgen.block prng ~loads:4 ~stores:2 ~size Kernels.Blockgen.crypto_mix
+
+let test_schedule_empty_selection () =
+  let dfg = block_of 1 30 in
+  let s = Ise.Codegen.schedule dfg [] in
+  check int "all primitives" (Ir.Dfg.node_count dfg) (List.length s);
+  check int "software cycles" (Ir.Dfg.sw_cycles_total dfg) (Ise.Codegen.cycles dfg s);
+  check int "nothing covered" 0 (Ise.Codegen.covered s)
+
+let test_schedule_rejects_overlap () =
+  let b = B.create () in
+  let x = B.add b Ir.Op.Add in
+  let y = B.add_with b Ir.Op.Add [ x ] in
+  let dfg = B.finish b in
+  let c1 = Isa.Custom_inst.make dfg (Util.Bitset.of_list 2 [ x; y ]) in
+  let c2 = Isa.Custom_inst.make dfg (Util.Bitset.of_list 2 [ x ]) in
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Codegen.schedule: overlapping instructions")
+    (fun () -> ignore (Ise.Codegen.schedule dfg [ c1; c2 ]))
+
+let prop_codegen_preserves_semantics =
+  QCheck.Test.make
+    ~name:"rewritten blocks compute exactly the original values" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 10 150))
+    (fun (seed, size) ->
+      let dfg = block_of seed size in
+      let cis = Iterative.Mlgp.cover_dfg dfg in
+      let s = Ise.Codegen.schedule dfg cis in
+      let env = Ir.Eval.default_env ~seed in
+      Ise.Codegen.execute dfg env s = Ir.Eval.eval dfg env)
+
+let prop_codegen_cycles_match_gains =
+  QCheck.Test.make
+    ~name:"rewritten cycle count equals software minus the gains" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 10 150))
+    (fun (seed, size) ->
+      let dfg = block_of seed size in
+      let cis = Iterative.Mlgp.cover_dfg dfg in
+      let s = Ise.Codegen.schedule dfg cis in
+      let total_gain =
+        Util.Numeric.sum_by Isa.Custom_inst.gain cis
+      in
+      Ise.Codegen.cycles dfg s = Ir.Dfg.sw_cycles_total dfg - total_gain)
+
+let prop_codegen_covers_selected =
+  QCheck.Test.make ~name:"covered operations equal the selected sizes" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let dfg = block_of seed 80 in
+      let cis = Iterative.Mlgp.cover_dfg dfg in
+      let s = Ise.Codegen.schedule dfg cis in
+      Ise.Codegen.covered s
+      = Util.Numeric.sum_by (fun ci -> ci.Isa.Custom_inst.size) cis)
+
+let prop_schedule_is_dependence_ordered =
+  QCheck.Test.make ~name:"schedules respect data dependences" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let dfg = block_of seed 60 in
+      let cis = Iterative.Mlgp.cover_dfg dfg in
+      let s = Ise.Codegen.schedule dfg cis in
+      (* position of each node in the schedule *)
+      let n = Ir.Dfg.node_count dfg in
+      let position = Array.make n (-1) in
+      List.iteri
+        (fun i macro ->
+          match macro with
+          | Ise.Codegen.Primitive v -> position.(v) <- i
+          | Ise.Codegen.Fused ci ->
+            Util.Bitset.iter (fun v -> position.(v) <- i) ci.Isa.Custom_inst.nodes)
+        s;
+      List.for_all
+        (fun v ->
+          List.for_all (fun sct -> position.(v) <= position.(sct)) (Ir.Dfg.succs dfg v))
+        (Ir.Dfg.nodes dfg))
+
+(* Differential test against the selection pipeline as well: the greedy
+   selector's instructions are conflict-free within a block. *)
+let prop_codegen_with_selection_pipeline =
+  QCheck.Test.make ~name:"selection pipeline output rewrites correctly" ~count:15
+    QCheck.(pair (int_range 0 10_000) (int_range 100 800))
+    (fun (seed, budget) ->
+      let dfg = block_of seed 60 in
+      let cands =
+        Ise.Select.candidates_of_block ~budget:Ise.Enumerate.small_budget
+          ~block:0 ~freq:1. dfg
+      in
+      let sel = Ise.Select.greedy ~budget cands in
+      (* selection does not enforce joint schedulability; codegen does *)
+      let cis = Ise.Codegen.sanitize dfg (List.map (fun c -> c.Ise.Select.ci) sel) in
+      let s = Ise.Codegen.schedule dfg cis in
+      let env = Ir.Eval.default_env ~seed in
+      Ise.Codegen.execute dfg env s = Ir.Eval.eval dfg env)
+
+(* Whole-kernel differential check: rewrite every block of a kernel with
+   MLGP instructions and verify both semantics and the WCET accounting. *)
+let test_whole_kernel_rewrite name =
+  let cfg = Kernels.find name in
+  let rewritten =
+    List.map
+      (fun (b : Ir.Cfg.block) ->
+        let cis = Iterative.Mlgp.cover_dfg b.body in
+        (b, Ise.Codegen.schedule b.body cis))
+      (Ir.Cfg.blocks cfg)
+  in
+  (* semantics per block *)
+  List.iter
+    (fun ((b : Ir.Cfg.block), s) ->
+      let env = Ir.Eval.default_env ~seed:5 in
+      check bool (b.label ^ " semantics preserved") true
+        (Ise.Codegen.execute b.body env s = Ir.Eval.eval b.body env))
+    rewritten;
+  (* accelerated WCET from the schedules equals Cfg.wcet_with *)
+  let cost (b : Ir.Cfg.block) =
+    match List.find_opt (fun (b', _) -> b' == b) rewritten with
+    | Some (_, s) -> Ise.Codegen.cycles b.body s
+    | None -> Ir.Cfg.block_cycles b
+  in
+  let accelerated = Ir.Cfg.wcet_with cfg ~cost in
+  check bool "acceleration reduces the WCET" true (accelerated < Ir.Cfg.wcet cfg)
+
+let test_whole_lms () = test_whole_kernel_rewrite "lms"
+let test_whole_viterbi () = test_whole_kernel_rewrite "viterbi"
+let test_whole_fft () = test_whole_kernel_rewrite "fft"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "codegen"
+    [ ( "eval",
+        [ Alcotest.test_case "arithmetic" `Quick test_eval_arithmetic;
+          Alcotest.test_case "block evaluation" `Quick test_eval_block;
+          Alcotest.test_case "deterministic" `Quick test_eval_deterministic ] );
+      ( "codegen",
+        [ Alcotest.test_case "empty selection" `Quick test_schedule_empty_selection;
+          Alcotest.test_case "rejects overlap" `Quick test_schedule_rejects_overlap;
+          qt prop_codegen_preserves_semantics;
+          qt prop_codegen_cycles_match_gains;
+          qt prop_codegen_covers_selected;
+          qt prop_schedule_is_dependence_ordered;
+          qt prop_codegen_with_selection_pipeline ] );
+      ( "whole-kernel",
+        [ Alcotest.test_case "lms rewrites correctly" `Quick test_whole_lms;
+          Alcotest.test_case "viterbi rewrites correctly" `Quick test_whole_viterbi;
+          Alcotest.test_case "fft rewrites correctly" `Quick test_whole_fft ] ) ]

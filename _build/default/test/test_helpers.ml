@@ -1,0 +1,106 @@
+(* Shared QCheck generators for the test suites. *)
+
+let gen_small_dfg =
+  (* A random DAG over valid and invalid operations, built the same way
+     the production builder is driven: edges only point forward. *)
+  QCheck.Gen.(
+    let* n = int_range 1 24 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (let prng = Util.Prng.create seed in
+       let b = Ir.Dfg.Builder.create () in
+       for i = 0 to n - 1 do
+         let kinds =
+           [| Ir.Op.Add; Ir.Op.Sub; Ir.Op.Mul; Ir.Op.Xor; Ir.Op.And;
+              Ir.Op.Shl; Ir.Op.Cmp; Ir.Op.Select; Ir.Op.Load; Ir.Op.Store |]
+         in
+         let kind = Util.Prng.choose prng kinds in
+         let id = Ir.Dfg.Builder.add b kind in
+         assert (id = i);
+         let wired = ref [] in
+         for _ = 1 to Ir.Op.arity kind do
+           if i > 0 && Util.Prng.float prng 1.0 < 0.7 then begin
+             let src = Util.Prng.int prng i in
+             if not (List.mem src !wired) then begin
+               wired := src :: !wired;
+               Ir.Dfg.Builder.edge b src id
+             end
+           end
+         done
+       done;
+       Ir.Dfg.Builder.finish b))
+
+let arb_small_dfg = QCheck.make ~print:(fun _ -> "<dfg>") gen_small_dfg
+
+let gen_node_set dfg =
+  QCheck.Gen.(
+    let n = Ir.Dfg.node_count dfg in
+    let* seed = int_range 0 1_000_000 in
+    let* k = int_range 1 (max 1 n) in
+    return
+      (let prng = Util.Prng.create seed in
+       let set = Util.Bitset.create n in
+       for _ = 1 to k do
+         Util.Bitset.set set (Util.Prng.int prng n)
+       done;
+       set))
+
+let arb_dfg_with_set =
+  QCheck.make
+    ~print:(fun (dfg, set) ->
+      Printf.sprintf "dfg(%d nodes) set={%s}" (Ir.Dfg.node_count dfg)
+        (String.concat "," (List.map string_of_int (Util.Bitset.elements set))))
+    QCheck.Gen.(gen_small_dfg >>= fun dfg ->
+                gen_node_set dfg >|= fun set -> (dfg, set))
+
+(* Random periodic task sets with small integer parameters, so that
+   hyperperiods stay simulable. *)
+let gen_taskset =
+  QCheck.Gen.(
+    let* n = int_range 1 5 in
+    list_repeat n
+      (let* period = int_range 2 30 in
+       let* cycles = int_range 1 period in
+       return (cycles, period)))
+
+let arb_taskset =
+  QCheck.make
+    ~print:(fun ts ->
+      String.concat ";" (List.map (fun (c, p) -> Printf.sprintf "(%d,%d)" c p) ts))
+    gen_taskset
+
+(* Random configuration curves: base cycles plus improving points. *)
+let gen_curve =
+  QCheck.Gen.(
+    let* base = int_range 10 200 in
+    let* points =
+      list_size (int_range 0 5)
+        (let* area = int_range 1 40 in
+         let* cycles = int_range 1 base in
+         return { Isa.Config.area; cycles })
+    in
+    return (Isa.Config.of_points ~base_cycles:base points))
+
+let gen_task_with_curve name_index =
+  QCheck.Gen.(
+    let* curve = gen_curve in
+    let* factor = int_range 2 8 in
+    let period = Isa.Config.base_cycles curve * factor in
+    return (Rt.Task.make ~name:(Printf.sprintf "t%d" name_index) ~period curve))
+
+let gen_rt_taskset =
+  QCheck.Gen.(
+    let* n = int_range 1 4 in
+    let rec build i =
+      if i = n then return []
+      else
+        let* t = gen_task_with_curve i in
+        let* rest = build (i + 1) in
+        return (t :: rest)
+    in
+    build 0)
+
+let arb_rt_taskset =
+  QCheck.make
+    ~print:(fun ts -> String.concat ";" (List.map (fun t -> Format.asprintf "%a" Rt.Task.pp t) ts))
+    gen_rt_taskset

@@ -1,0 +1,258 @@
+module B = Ir.Dfg.Builder
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Hw_model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_tables_total () =
+  List.iter
+    (fun k ->
+      if Ir.Op.is_valid k then begin
+        check bool "delay non-negative" true (Isa.Hw_model.hw_delay_ps k >= 0);
+        check bool "area non-negative" true (Isa.Hw_model.area k >= 0)
+      end
+      else begin
+        Alcotest.check_raises "invalid op delay"
+          (Invalid_argument ("Hw_model: " ^ Ir.Op.name k ^ " cannot be implemented in a CFU"))
+          (fun () -> ignore (Isa.Hw_model.hw_delay_ps k));
+        Alcotest.check_raises "invalid op area"
+          (Invalid_argument ("Hw_model: " ^ Ir.Op.name k ^ " cannot be implemented in a CFU"))
+          (fun () -> ignore (Isa.Hw_model.area k))
+      end)
+    Ir.Op.all
+
+let test_mul_slower_than_add () =
+  check bool "mul delay > add delay" true
+    (Isa.Hw_model.hw_delay_ps Ir.Op.Mul > Isa.Hw_model.hw_delay_ps Ir.Op.Add);
+  check bool "mul area > add area" true
+    (Isa.Hw_model.area Ir.Op.Mul > Isa.Hw_model.area Ir.Op.Add)
+
+let add_chain n =
+  let b = B.create () in
+  let first = B.add b Ir.Op.Add in
+  let rec extend prev k =
+    if k = 0 then ()
+    else extend (B.add_with b Ir.Op.Add [ prev ]) (k - 1)
+  in
+  extend first (n - 1);
+  B.finish b
+
+let full_set dfg =
+  Util.Bitset.of_list (Ir.Dfg.node_count dfg) (Ir.Dfg.nodes dfg)
+
+let test_set_area_sums () =
+  let dfg = add_chain 5 in
+  check int "5 adders" (5 * 10) (Isa.Hw_model.set_area dfg (full_set dfg))
+
+let test_hw_cycles_chain () =
+  (* 4 adds in a chain: 8000ps < 8333ps -> 1 cycle; 5 adds: 10000ps -> 2. *)
+  let d4 = add_chain 4 and d5 = add_chain 5 in
+  check int "4-chain 1 cycle" 1 (Isa.Hw_model.set_hw_cycles d4 (full_set d4));
+  check int "5-chain 2 cycles" 2 (Isa.Hw_model.set_hw_cycles d5 (full_set d5));
+  check int "empty set 0 cycles" 0
+    (Isa.Hw_model.set_hw_cycles d4 (Util.Bitset.create 4))
+
+let test_unit_conversions () =
+  check (Alcotest.float 1e-9) "adders" 2.5 (Isa.Hw_model.adders_of_units 25);
+  check int "gates" 400 (Isa.Hw_model.gates_of_units 25)
+
+(* ------------------------------------------------------------------ *)
+(* Custom_inst                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* mul feeding add, one external input each: classic MAC pattern *)
+let mac_dfg () =
+  let b = B.create () in
+  let m = B.add b Ir.Op.Mul in
+  let a = B.add_with b Ir.Op.Add [ m ] in
+  ignore (B.add_with b Ir.Op.Store [ a ]);
+  (B.finish b, m, a)
+
+let test_mac_instruction () =
+  let dfg, m, a = mac_dfg () in
+  let ci = Isa.Custom_inst.make dfg (Util.Bitset.of_list 3 [ m; a ]) in
+  check int "size" 2 ci.Isa.Custom_inst.size;
+  check int "sw cycles" 2 ci.Isa.Custom_inst.sw_cycles;
+  (* 5500 + 2000 = 7500ps < 8333 -> 1 cycle *)
+  check int "hw cycles" 1 ci.Isa.Custom_inst.hw_cycles;
+  check int "gain" 1 (Isa.Custom_inst.gain ci);
+  check int "inputs (2 mul + 1 add live-in)" 3 ci.Isa.Custom_inst.inputs;
+  check int "outputs" 1 ci.Isa.Custom_inst.outputs;
+  check int "area" 130 ci.Isa.Custom_inst.area
+
+let test_rejects_invalid_op () =
+  let b = B.create () in
+  let ld = B.add b Ir.Op.Load in
+  let a = B.add_with b Ir.Op.Add [ ld ] in
+  let dfg = B.finish b in
+  match Isa.Custom_inst.check dfg (Util.Bitset.of_list 2 [ ld; a ]) with
+  | Error Isa.Custom_inst.Invalid_operation -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Invalid_operation"
+
+let test_rejects_nonconvex () =
+  let b = B.create () in
+  let x = B.add b Ir.Op.Add in
+  let y = B.add_with b Ir.Op.Add [ x ] in
+  let z = B.add_with b Ir.Op.Add [ y ] in
+  let dfg = B.finish b in
+  match Isa.Custom_inst.check dfg (Util.Bitset.of_list 3 [ x; z ]) with
+  | Error Isa.Custom_inst.Not_convex -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Not_convex"
+
+let test_rejects_too_many_inputs () =
+  (* 3 two-operand ops with all-external operands: 6 live-ins > 4 *)
+  let b = B.create () in
+  let x = B.add b Ir.Op.Add in
+  let y = B.add b Ir.Op.Add in
+  let z = B.add b Ir.Op.Add in
+  let dfg = B.finish b in
+  match Isa.Custom_inst.check dfg (Util.Bitset.of_list 3 [ x; y; z ]) with
+  | Error (Isa.Custom_inst.Too_many_inputs 6) -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error r -> Alcotest.failf "unexpected: %a" Isa.Custom_inst.pp_rejection r
+
+let test_rejects_too_many_outputs () =
+  (* three parallel single-input ops from one producer: 3 outputs > 2 *)
+  let b = B.create () in
+  let src = B.add b Ir.Op.Add in
+  let o1 = B.add_with b Ir.Op.Not [ src ] in
+  let o2 = B.add_with b Ir.Op.Not [ src ] in
+  let o3 = B.add_with b Ir.Op.Not [ src ] in
+  ignore (B.add_with b Ir.Op.Store [ o1 ]);
+  ignore (B.add_with b Ir.Op.Store [ o2 ]);
+  ignore (B.add_with b Ir.Op.Store [ o3 ]);
+  let dfg = B.finish b in
+  match Isa.Custom_inst.check dfg (Util.Bitset.of_list 7 [ src; o1; o2; o3 ]) with
+  | Error (Isa.Custom_inst.Too_many_outputs 3) -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error r -> Alcotest.failf "unexpected: %a" Isa.Custom_inst.pp_rejection r
+
+let test_rejects_empty () =
+  let dfg, _, _ = mac_dfg () in
+  match Isa.Custom_inst.check dfg (Util.Bitset.create 3) with
+  | Error Isa.Custom_inst.Empty -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Empty"
+
+let test_custom_constraints () =
+  let dfg, m, a = mac_dfg () in
+  let constraints = { Isa.Hw_model.max_inputs = 2; max_outputs = 2 } in
+  match Isa.Custom_inst.check ~constraints dfg (Util.Bitset.of_list 3 [ m; a ]) with
+  | Error (Isa.Custom_inst.Too_many_inputs 3) -> ()
+  | Ok _ -> Alcotest.fail "expected rejection under tight ports"
+  | Error r -> Alcotest.failf "unexpected: %a" Isa.Custom_inst.pp_rejection r
+
+let test_overlaps () =
+  let dfg, m, a = mac_dfg () in
+  let c1 = Isa.Custom_inst.make dfg (Util.Bitset.of_list 3 [ m; a ]) in
+  let c2 = Isa.Custom_inst.make dfg (Util.Bitset.of_list 3 [ m ]) in
+  check bool "overlap" true (Isa.Custom_inst.overlaps c1 c2);
+  let c3 = Isa.Custom_inst.make dfg (Util.Bitset.of_list 3 [ a ]) in
+  check bool "no overlap" false (Isa.Custom_inst.overlaps c2 c3)
+
+(* ------------------------------------------------------------------ *)
+(* Config curves                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_curve_normalisation () =
+  let curve =
+    Isa.Config.of_points ~base_cycles:100
+      [ { area = 10; cycles = 80 }; { area = 20; cycles = 80 } (* dominated *);
+        { area = 5; cycles = 95 }; { area = 30; cycles = 60 } ]
+  in
+  let pts = Isa.Config.points curve in
+  check int "size includes software point" 4 (Array.length pts);
+  check int "first is software" 0 pts.(0).Isa.Config.area;
+  check int "base cycles" 100 (Isa.Config.base_cycles curve);
+  check int "min cycles" 60 (Isa.Config.min_cycles curve);
+  check int "max area" 30 (Isa.Config.max_area curve);
+  check bool "dominated point dropped" true
+    (not (Array.exists (fun p -> p.Isa.Config.area = 20) pts))
+
+let test_curve_rejects_slower_point () =
+  Alcotest.check_raises "slower than software"
+    (Invalid_argument "Config.of_points: configuration slower than software")
+    (fun () ->
+      ignore (Isa.Config.of_points ~base_cycles:100 [ { area = 10; cycles = 120 } ]))
+
+let test_best_at () =
+  let curve =
+    Isa.Config.of_points ~base_cycles:100
+      [ { area = 10; cycles = 80 }; { area = 30; cycles = 60 } ]
+  in
+  check int "budget 0" 100 (Isa.Config.best_at curve 0).Isa.Config.cycles;
+  check int "budget 15" 80 (Isa.Config.best_at curve 15).Isa.Config.cycles;
+  check int "budget 1000" 60 (Isa.Config.best_at curve 1000).Isa.Config.cycles
+
+let test_restrict () =
+  let curve =
+    Isa.Config.of_points ~base_cycles:100
+      [ { area = 10; cycles = 80 }; { area = 30; cycles = 60 } ]
+  in
+  let r = Isa.Config.restrict curve ~max_area:15 in
+  check int "restricted size" 2 (Isa.Config.size r);
+  check int "restricted min cycles" 80 (Isa.Config.min_cycles r)
+
+let test_scale_cycles () =
+  let curve =
+    Isa.Config.of_points ~base_cycles:100 [ { area = 10; cycles = 50 } ]
+  in
+  let s = Isa.Config.scale_cycles curve 2. in
+  check int "scaled base" 200 (Isa.Config.base_cycles s);
+  check int "scaled point" 100 (Isa.Config.min_cycles s)
+
+let prop_curve_is_pareto =
+  QCheck.Test.make ~name:"curves are strictly monotone staircases" ~count:300
+    (QCheck.make Test_helpers.gen_curve)
+    (fun curve ->
+      let pts = Isa.Config.points curve in
+      let ok = ref (pts.(0).Isa.Config.area = 0) in
+      for i = 1 to Array.length pts - 1 do
+        if
+          pts.(i).Isa.Config.area <= pts.(i - 1).Isa.Config.area
+          || pts.(i).Isa.Config.cycles >= pts.(i - 1).Isa.Config.cycles
+        then ok := false
+      done;
+      !ok)
+
+let prop_best_at_monotone =
+  QCheck.Test.make ~name:"best_at cycles decrease with budget" ~count:200
+    (QCheck.make Test_helpers.gen_curve)
+    (fun curve ->
+      let budgets = [ 0; 5; 10; 20; 40; 100 ] in
+      let cycles = List.map (fun a -> (Isa.Config.best_at curve a).Isa.Config.cycles) budgets in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | _ -> true
+      in
+      non_increasing cycles)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "isa"
+    [ ( "hw-model",
+        [ Alcotest.test_case "tables total" `Quick test_model_tables_total;
+          Alcotest.test_case "mul slower than add" `Quick test_mul_slower_than_add;
+          Alcotest.test_case "set area sums" `Quick test_set_area_sums;
+          Alcotest.test_case "hw cycles from critical path" `Quick test_hw_cycles_chain;
+          Alcotest.test_case "unit conversions" `Quick test_unit_conversions ] );
+      ( "custom-inst",
+        [ Alcotest.test_case "mac" `Quick test_mac_instruction;
+          Alcotest.test_case "rejects invalid op" `Quick test_rejects_invalid_op;
+          Alcotest.test_case "rejects non-convex" `Quick test_rejects_nonconvex;
+          Alcotest.test_case "rejects too many inputs" `Quick test_rejects_too_many_inputs;
+          Alcotest.test_case "rejects too many outputs" `Quick test_rejects_too_many_outputs;
+          Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+          Alcotest.test_case "custom port constraints" `Quick test_custom_constraints;
+          Alcotest.test_case "overlaps" `Quick test_overlaps ] );
+      ( "config-curve",
+        [ Alcotest.test_case "normalisation" `Quick test_curve_normalisation;
+          Alcotest.test_case "rejects slower point" `Quick test_curve_rejects_slower_point;
+          Alcotest.test_case "best_at" `Quick test_best_at;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "scale" `Quick test_scale_cycles;
+          qt prop_curve_is_pareto;
+          qt prop_best_at_monotone ] ) ]

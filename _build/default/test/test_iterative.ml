@@ -1,0 +1,201 @@
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let crypto_block seed size =
+  let prng = Util.Prng.create seed in
+  Kernels.Blockgen.block prng ~loads:4 ~stores:2 ~size Kernels.Blockgen.crypto_mix
+
+(* ------------------------------------------------------------------ *)
+(* MLGP                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mlgp_instructions_legal =
+  QCheck.Test.make ~name:"MLGP partitions are legal custom instructions"
+    ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 10 120))
+    (fun (seed, size) ->
+      let dfg = crypto_block seed size in
+      Iterative.Mlgp.cover_dfg dfg
+      |> List.for_all (fun ci ->
+             Isa.Custom_inst.feasible dfg ci.Isa.Custom_inst.nodes
+             && Isa.Custom_inst.gain ci > 0))
+
+let prop_mlgp_disjoint =
+  QCheck.Test.make ~name:"MLGP partitions are pairwise disjoint" ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 10 120))
+    (fun (seed, size) ->
+      let dfg = crypto_block seed size in
+      let cis = Iterative.Mlgp.cover_dfg dfg in
+      let rec pairwise = function
+        | [] -> true
+        | c :: rest ->
+          (not (List.exists (Isa.Custom_inst.overlaps c) rest)) && pairwise rest
+      in
+      pairwise cis)
+
+let prop_mlgp_respects_allowed =
+  QCheck.Test.make ~name:"MLGP stays inside the allowed node set" ~count:25
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let dfg = crypto_block seed 60 in
+      match Ir.Region.of_dfg dfg with
+      | [] -> true
+      | r :: _ ->
+        (* halve the region *)
+        let allowed = Util.Bitset.create (Ir.Dfg.node_count dfg) in
+        let i = ref 0 in
+        Util.Bitset.iter
+          (fun v ->
+            if !i mod 2 = 0 then Util.Bitset.set allowed v;
+            incr i)
+          r.Ir.Region.members;
+        Iterative.Mlgp.partition_region dfg ~allowed
+        |> List.for_all (fun ci ->
+               Util.Bitset.subset ci.Isa.Custom_inst.nodes allowed))
+
+let test_mlgp_beats_singletons () =
+  (* grouping must beat the zero gain of leaving everything in software *)
+  let dfg = crypto_block 42 200 in
+  let cis = Iterative.Mlgp.cover_dfg dfg in
+  let gain = List.fold_left (fun a c -> a + Isa.Custom_inst.gain c) 0 cis in
+  check bool "recovers at least 25% of block cycles" true
+    (float_of_int gain >= 0.25 *. float_of_int (Ir.Dfg.sw_cycles_total dfg))
+
+let test_mlgp_deterministic () =
+  let dfg = crypto_block 7 80 in
+  let a = Iterative.Mlgp.cover_dfg ~seed:3 dfg in
+  let b = Iterative.Mlgp.cover_dfg ~seed:3 dfg in
+  check int "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      check bool "same node sets" true
+        (Util.Bitset.equal x.Isa.Custom_inst.nodes y.Isa.Custom_inst.nodes))
+    a b
+
+let test_mlgp_empty_region () =
+  let b = Ir.Dfg.Builder.create () in
+  ignore (Ir.Dfg.Builder.add b Ir.Op.Load);
+  let dfg = Ir.Dfg.Builder.finish b in
+  check int "no instructions from invalid-only block" 0
+    (List.length (Iterative.Mlgp.cover_dfg dfg))
+
+let prop_mlgp_respects_tight_ports =
+  QCheck.Test.make ~name:"MLGP honours non-default port constraints" ~count:15
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let dfg = crypto_block seed 80 in
+      let constraints = { Isa.Hw_model.max_inputs = 2; max_outputs = 1 } in
+      Iterative.Mlgp.cover_dfg ~constraints dfg
+      |> List.for_all (fun ci ->
+             ci.Isa.Custom_inst.inputs <= 2 && ci.Isa.Custom_inst.outputs <= 1))
+
+(* ------------------------------------------------------------------ *)
+(* IS baseline                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_disjoint_and_legal () =
+  let dfg = crypto_block 11 60 in
+  let cis = Iterative.Is_baseline.run ~budget:Ise.Enumerate.small_budget dfg in
+  check bool "non-empty" true (cis <> []);
+  let rec pairwise = function
+    | [] -> true
+    | c :: rest -> (not (List.exists (Isa.Custom_inst.overlaps c) rest)) && pairwise rest
+  in
+  check bool "disjoint" true (pairwise cis);
+  check bool "legal" true
+    (List.for_all (fun ci -> Isa.Custom_inst.feasible dfg ci.Isa.Custom_inst.nodes) cis)
+
+let test_is_respects_max_instructions () =
+  let dfg = crypto_block 12 80 in
+  let cis =
+    Iterative.Is_baseline.run ~budget:Ise.Enumerate.small_budget
+      ~max_instructions:3 dfg
+  in
+  check bool "at most 3" true (List.length cis <= 3)
+
+let test_is_steps_reported () =
+  let dfg = crypto_block 13 50 in
+  let steps = ref 0 in
+  let cis =
+    Iterative.Is_baseline.run ~budget:Ise.Enumerate.small_budget
+      ~on_step:(fun _ -> incr steps) dfg
+  in
+  check int "one callback per instruction" (List.length cis) !steps
+
+(* ------------------------------------------------------------------ *)
+(* Iterative driver (Algorithm 4)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let small_taskset u =
+  Iterative.Driver.tasks_of_kernels ~u
+    [ ("lms", Kernels.lms ()); ("ndes", Kernels.ndes ());
+      ("jfdctint", Kernels.jfdctint ()) ]
+
+let test_driver_reaches_target () =
+  let res = Iterative.Driver.run (small_taskset 1.2) in
+  check bool "schedulable" true res.Iterative.Driver.schedulable;
+  check bool "utilization at most 1" true (res.Iterative.Driver.utilization <= 1.0)
+
+let test_driver_monotone_utilization () =
+  let res = Iterative.Driver.run ~target:0.0 ~max_iterations:30 (small_taskset 1.3) in
+  let rec non_increasing = function
+    | (a : Iterative.Driver.iteration) :: (b :: _ as rest) ->
+      a.utilization +. 1e-9 >= b.utilization && non_increasing rest
+    | _ -> true
+  in
+  check bool "U non-increasing over iterations" true
+    (non_increasing res.Iterative.Driver.iterations)
+
+let test_driver_already_schedulable () =
+  let res = Iterative.Driver.run (small_taskset 0.7) in
+  check int "no iterations needed" 0 (List.length res.Iterative.Driver.iterations);
+  check int "no area spent" 0 res.Iterative.Driver.total_area
+
+let test_driver_infeasible_stops () =
+  (* target 0 is unreachable: driver must stop when tasks are exhausted *)
+  let res = Iterative.Driver.run ~target:0.0 ~max_iterations:1000 (small_taskset 1.0) in
+  check bool "terminates unschedulable" true (not res.Iterative.Driver.schedulable);
+  check bool "made some progress" true (res.Iterative.Driver.utilization < 1.0)
+
+let test_tasks_of_kernels_shares () =
+  let tasks = small_taskset 1.2 in
+  let u =
+    Util.Numeric.sum_byf
+      (fun (t : Iterative.Driver.task_input) ->
+        float_of_int (Ir.Cfg.wcet t.cfg) /. float_of_int t.period)
+      tasks
+  in
+  check (Alcotest.float 0.01) "total utilization" 1.2 u
+
+let prop_driver_area_counts_instructions =
+  QCheck.Test.make ~name:"driver reports zero area iff zero instructions"
+    ~count:8
+    QCheck.(float_range 0.9 1.4)
+    (fun u ->
+      let res = Iterative.Driver.run (small_taskset u) in
+      (res.Iterative.Driver.total_area = 0)
+      = (res.Iterative.Driver.instruction_count = 0))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "iterative"
+    [ ( "mlgp",
+        [ qt prop_mlgp_instructions_legal;
+          qt prop_mlgp_disjoint;
+          qt prop_mlgp_respects_allowed;
+          Alcotest.test_case "beats singletons" `Quick test_mlgp_beats_singletons;
+          Alcotest.test_case "deterministic" `Quick test_mlgp_deterministic;
+          Alcotest.test_case "empty region" `Quick test_mlgp_empty_region;
+          qt prop_mlgp_respects_tight_ports ] );
+      ( "is-baseline",
+        [ Alcotest.test_case "disjoint and legal" `Quick test_is_disjoint_and_legal;
+          Alcotest.test_case "max instructions" `Quick test_is_respects_max_instructions;
+          Alcotest.test_case "step callback" `Quick test_is_steps_reported ] );
+      ( "driver",
+        [ Alcotest.test_case "reaches target" `Quick test_driver_reaches_target;
+          Alcotest.test_case "monotone utilization" `Quick test_driver_monotone_utilization;
+          Alcotest.test_case "already schedulable" `Quick test_driver_already_schedulable;
+          Alcotest.test_case "infeasible stops" `Quick test_driver_infeasible_stops;
+          Alcotest.test_case "equal shares" `Quick test_tasks_of_kernels_shares;
+          qt prop_driver_area_counts_instructions ] ) ]

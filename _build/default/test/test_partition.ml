@@ -1,0 +1,161 @@
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let triangle () =
+  Partition.Graph.make ~vertex_weights:[| 1; 2; 3 |]
+    ~edges:[ (0, 1, 5); (1, 2, 7); (0, 2, 1) ]
+
+let test_graph_basics () =
+  let g = triangle () in
+  check int "vertices" 3 (Partition.Graph.vertex_count g);
+  check int "weight" 2 (Partition.Graph.vertex_weight g 1);
+  check int "total weight" 6 (Partition.Graph.total_weight g);
+  check int "edge weight" 5 (Partition.Graph.edge_weight g 0 1);
+  check int "missing edge" 0 (Partition.Graph.edge_weight g 0 0);
+  check int "degree" 2 (List.length (Partition.Graph.neighbors g 1))
+
+let test_graph_merges_parallel_edges () =
+  let g =
+    Partition.Graph.make ~vertex_weights:[| 1; 1 |]
+      ~edges:[ (0, 1, 3); (1, 0, 4); (0, 0, 100) ]
+  in
+  check int "merged weight" 7 (Partition.Graph.edge_weight g 0 1);
+  check int "self loop dropped" 1 (List.length (Partition.Graph.neighbors g 0))
+
+let test_edge_cut () =
+  let g = triangle () in
+  check int "all together" 0 (Partition.Graph.edge_cut g [| 0; 0; 0 |]);
+  check int "cut 0|12" 6 (Partition.Graph.edge_cut g [| 0; 1; 1 |]);
+  check int "cut 01|2" 8 (Partition.Graph.edge_cut g [| 0; 0; 1 |])
+
+let test_coarsen () =
+  let g = triangle () in
+  (* match 0 with 1 *)
+  let coarser, coarse_of = Partition.Graph.coarsen g ~matching:[| 1; 0; 2 |] in
+  check int "two coarse vertices" 2 (Partition.Graph.vertex_count coarser);
+  check int "merged weight" 3
+    (Partition.Graph.vertex_weight coarser coarse_of.(0));
+  check int "combined edge" 8
+    (Partition.Graph.edge_weight coarser coarse_of.(0) coarse_of.(2))
+
+(* ------------------------------------------------------------------ *)
+(* K-way partitioning                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let random_graph seed n density =
+  let prng = Util.Prng.create seed in
+  let vertex_weights = Array.init n (fun _ -> Util.Prng.in_range prng 1 5) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Util.Prng.float prng 1.0 < density then
+        edges := (u, v, Util.Prng.in_range prng 1 10) :: !edges
+    done
+  done;
+  (* ensure connectivity with a path *)
+  for u = 0 to n - 2 do
+    edges := (u, u + 1, 1) :: !edges
+  done;
+  Partition.Graph.make ~vertex_weights ~edges:!edges
+
+let test_partition_two_cliques () =
+  (* two 4-cliques joined by one light edge: the obvious bisection *)
+  let clique base =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if i < j then Some (base + i, base + j, 10) else None) [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let g =
+    Partition.Graph.make ~vertex_weights:(Array.make 8 1)
+      ~edges:((4, 3, 1) :: (clique 0 @ clique 4))
+  in
+  let r = Partition.Kway.partition ~k:2 g in
+  check int "optimal cut" 1 r.Partition.Kway.cut;
+  (* each clique in one part *)
+  let a = r.Partition.Kway.assignment in
+  check bool "clique 1 together" true (a.(0) = a.(1) && a.(1) = a.(2) && a.(2) = a.(3));
+  check bool "clique 2 together" true (a.(4) = a.(5) && a.(5) = a.(6) && a.(6) = a.(7))
+
+let test_partition_k1 () =
+  let g = triangle () in
+  let r = Partition.Kway.partition ~k:1 g in
+  check int "no cut" 0 r.Partition.Kway.cut;
+  check bool "single part" true (Array.for_all (fun p -> p = 0) r.Partition.Kway.assignment)
+
+let test_partition_k_equals_n () =
+  let g = triangle () in
+  let r = Partition.Kway.partition ~k:3 g in
+  let parts = Array.to_list r.Partition.Kway.assignment |> List.sort_uniq compare in
+  check int "all parts used" 3 (List.length parts)
+
+let test_partition_rejects_bad_k () =
+  let g = triangle () in
+  Alcotest.check_raises "k=0" (Invalid_argument "Kway.partition: k must be >= 1")
+    (fun () -> ignore (Partition.Kway.partition ~k:0 g));
+  Alcotest.check_raises "k>n" (Invalid_argument "Kway.partition: k exceeds vertex count")
+    (fun () -> ignore (Partition.Kway.partition ~k:4 g))
+
+let prop_partition_valid =
+  QCheck.Test.make ~name:"partitions are total, in-range, non-empty" ~count:80
+    QCheck.(triple (int_range 0 1000) (int_range 2 40) (int_range 2 6))
+    (fun (seed, n, k) ->
+      QCheck.assume (k <= n);
+      let g = random_graph seed n 0.15 in
+      let r = Partition.Kway.partition ~k g in
+      let counts = Array.make k 0 in
+      Array.iter
+        (fun p ->
+          QCheck.assume (p >= 0 && p < k);
+          counts.(p) <- counts.(p) + 1)
+        r.Partition.Kway.assignment;
+      Array.for_all (fun c -> c > 0) counts
+      && r.Partition.Kway.cut = Partition.Graph.edge_cut g r.Partition.Kway.assignment)
+
+let prop_refine_never_worsens =
+  QCheck.Test.make ~name:"refinement never increases the cut" ~count:80
+    QCheck.(triple (int_range 0 1000) (int_range 4 30) (int_range 2 4))
+    (fun (seed, n, k) ->
+      QCheck.assume (k <= n);
+      let g = random_graph seed n 0.2 in
+      let prng = Util.Prng.create (seed + 1) in
+      let assignment =
+        Array.init n (fun _ -> Util.Prng.int prng k)
+      in
+      (* make every part non-empty *)
+      for p = 0 to k - 1 do
+        assignment.(p mod n) <- p
+      done;
+      let before = Partition.Graph.edge_cut g assignment in
+      ignore (Partition.Kway.refine ~k g assignment);
+      Partition.Graph.edge_cut g assignment <= before)
+
+let prop_partition_deterministic =
+  QCheck.Test.make ~name:"same seed gives the same partition" ~count:40
+    QCheck.(pair (int_range 0 1000) (int_range 4 25))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.2 in
+      let a = Partition.Kway.partition ~seed:7 ~k:2 g in
+      let b = Partition.Kway.partition ~seed:7 ~k:2 g in
+      a.Partition.Kway.assignment = b.Partition.Kway.assignment)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "partition"
+    [ ( "graph",
+        [ Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "parallel edges merged" `Quick test_graph_merges_parallel_edges;
+          Alcotest.test_case "edge cut" `Quick test_edge_cut;
+          Alcotest.test_case "coarsen" `Quick test_coarsen ] );
+      ( "kway",
+        [ Alcotest.test_case "two cliques" `Quick test_partition_two_cliques;
+          Alcotest.test_case "k=1" `Quick test_partition_k1;
+          Alcotest.test_case "k=n" `Quick test_partition_k_equals_n;
+          Alcotest.test_case "rejects bad k" `Quick test_partition_rejects_bad_k;
+          qt prop_partition_valid;
+          qt prop_refine_never_worsens;
+          qt prop_partition_deterministic ] ) ]

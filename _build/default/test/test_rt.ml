@@ -1,0 +1,221 @@
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Task model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let curve_of base pts = Isa.Config.of_points ~base_cycles:base pts
+
+let test_task_basics () =
+  let t = Rt.Task.make ~name:"t" ~period:20 (curve_of 10 []) in
+  check (Alcotest.float 1e-9) "utilization" 0.5 (Rt.Task.utilization t);
+  check int "wcet from curve" 10 t.Rt.Task.wcet
+
+let test_target_utilization () =
+  let mk name base period = Rt.Task.make ~name ~period (curve_of base []) in
+  let tasks = [ mk "a" 100 1000; mk "b" 300 1000 ] in
+  let scaled = Rt.Task.with_target_utilization 0.8 tasks in
+  check (Alcotest.float 0.01) "total utilization" 0.8 (Rt.Task.set_utilization scaled);
+  (* equal shares *)
+  List.iter
+    (fun t -> check (Alcotest.float 0.01) "share" 0.4 (Rt.Task.utilization t))
+    scaled
+
+let test_hyperperiod () =
+  let mk p = Rt.Task.make ~name:"x" ~period:p (curve_of 1 []) in
+  check int "lcm" 12 (Rt.Task.hyperperiod [ mk 4; mk 6 ])
+
+(* ------------------------------------------------------------------ *)
+(* EDF / RMS analytic tests                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_edf_bound () =
+  check bool "U=1 schedulable" true (Rt.Sched.edf_schedulable [ (1, 2); (1, 2) ]);
+  check bool "U>1 not" false (Rt.Sched.edf_schedulable [ (2, 3); (2, 3) ])
+
+let test_rms_classic_example () =
+  (* Liu & Layland's classic: C=(1,1,1), P=(3,4,5): U=0.783 < LL bound?
+     bound(3)=0.7798; U=0.7833 slightly above, but exact test passes. *)
+  let ts = [ (1, 3); (1, 4); (1, 5) ] in
+  check bool "LL inconclusive" false (Rt.Sched.rms_schedulable_ll ts);
+  check bool "exact test passes" true (Rt.Sched.rms_schedulable ts)
+
+let test_rms_full_utilization_harmonic () =
+  (* Harmonic periods schedule up to U = 1 under RMS. *)
+  check bool "harmonic U=1" true (Rt.Sched.rms_schedulable [ (1, 2); (2, 4) ]);
+  check bool "overload fails" false (Rt.Sched.rms_schedulable [ (1, 2); (3, 4) ])
+
+let test_rms_unschedulable_above_1 () =
+  check bool "U>1 never schedulable" false
+    (Rt.Sched.rms_schedulable [ (2, 3); (2, 4) ])
+
+let test_ll_bound_values () =
+  check (Alcotest.float 1e-6) "n=1" 1.0 (Rt.Sched.liu_layland_bound 1);
+  check (Alcotest.float 1e-4) "n=2" 0.8284 (Rt.Sched.liu_layland_bound 2);
+  check (Alcotest.float 1e-4) "n=3" 0.7798 (Rt.Sched.liu_layland_bound 3)
+
+(* ------------------------------------------------------------------ *)
+(* Response-time analysis                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_rta_known_values () =
+  (* C=(1,2), P=(4,6): R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3 *)
+  let tasks = [| (1, 4); (2, 6) |] in
+  check (Alcotest.option int) "R of highest" (Some 1)
+    (Rt.Response_time.response_time tasks 0);
+  check (Alcotest.option int) "R of lowest" (Some 3)
+    (Rt.Response_time.response_time tasks 1)
+
+let test_rta_divergence () =
+  let tasks = [| (2, 3); (2, 4) |] in
+  check (Alcotest.option int) "diverges past deadline" None
+    (Rt.Response_time.response_time tasks 1)
+
+let prop_rta_agrees_with_exact_test =
+  QCheck.Test.make ~name:"response-time analysis agrees with Theorem 1" ~count:300
+    Test_helpers.arb_taskset
+    (fun ts ->
+      Rt.Response_time.schedulable ts = Rt.Sched.rms_schedulable ts)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_idle_accounting () =
+  let out = Rt.Sim.run ~policy:Rt.Sim.Edf [ (1, 4) ] in
+  (* one job per 4 cycles, hyperperiod 4: 3 idle cycles *)
+  check int "idle" 3 out.Rt.Sim.idle;
+  check int "no misses" 0 out.Rt.Sim.deadline_misses
+
+let test_sim_detects_overload () =
+  let out = Rt.Sim.run ~policy:Rt.Sim.Edf [ (3, 4); (3, 4) ] in
+  check bool "misses detected" true (out.Rt.Sim.deadline_misses > 0)
+
+let test_sim_rms_priority_inversion_case () =
+  (* (2,4)&(5,10) is EDF-schedulable at U=1 but RMS-infeasible. *)
+  let ts = [ (2, 4); (5, 10) ] in
+  check bool "EDF ok" true (Rt.Sim.schedulable ~policy:Rt.Sim.Edf ts);
+  check bool "RMS misses" false (Rt.Sim.schedulable ~policy:Rt.Sim.Fixed_priority ts)
+
+let test_sim_counts_preemptions () =
+  (* Long low-priority job preempted by short high-priority one. *)
+  let out = Rt.Sim.run ~policy:Rt.Sim.Fixed_priority [ (1, 3); (4, 9) ] in
+  check bool "preemptions happen" true (out.Rt.Sim.preemptions > 0)
+
+let prop_edf_bound_matches_simulation =
+  QCheck.Test.make ~name:"EDF: U<=1 iff no deadline miss in simulation"
+    ~count:200 Test_helpers.arb_taskset
+    (fun ts ->
+      Rt.Sched.edf_schedulable ts = Rt.Sim.schedulable ~policy:Rt.Sim.Edf ts)
+
+let prop_rms_exact_matches_simulation =
+  QCheck.Test.make ~name:"RMS: exact test iff no deadline miss in simulation"
+    ~count:200 Test_helpers.arb_taskset
+    (fun ts ->
+      (* ties in periods are broken arbitrarily in both; skip ambiguous sets *)
+      let periods = List.map snd ts in
+      QCheck.assume (List.length periods = List.length (List.sort_uniq compare periods));
+      Rt.Sched.rms_schedulable ts
+      = Rt.Sim.schedulable ~policy:Rt.Sim.Fixed_priority ts)
+
+let prop_rms_implies_edf =
+  QCheck.Test.make ~name:"RMS-schedulable implies EDF-schedulable" ~count:200
+    Test_helpers.arb_taskset
+    (fun ts ->
+      (not (Rt.Sched.rms_schedulable ts)) || Rt.Sched.edf_schedulable ts)
+
+let prop_ll_implies_exact =
+  QCheck.Test.make ~name:"Liu-Layland bound implies the exact test" ~count:200
+    Test_helpers.arb_taskset
+    (fun ts ->
+      (not (Rt.Sched.rms_schedulable_ll ts)) || Rt.Sched.rms_schedulable ts)
+
+(* ------------------------------------------------------------------ *)
+(* Energy                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_levels_sorted () =
+  let rec increasing = function
+    | a :: (b :: _ as rest) ->
+      a.Rt.Energy.mhz < b.Rt.Energy.mhz
+      && a.Rt.Energy.volt <= b.Rt.Energy.volt
+      && increasing rest
+    | _ -> true
+  in
+  check bool "levels ordered" true (increasing Rt.Energy.tm5400)
+
+let test_static_scale_edf () =
+  (* U=0.4 at 633MHz can run at 300MHz: 0.4*633/300 = 0.844 <= 1. *)
+  (match Rt.Energy.static_scale Rt.Energy.Edf ~n_tasks:4 0.4 with
+   | Some l -> check int "lowest level" 300 l.Rt.Energy.mhz
+   | None -> Alcotest.fail "expected a level");
+  (* U=0.9 needs 0.9*633 = 570 -> 600MHz. *)
+  (match Rt.Energy.static_scale Rt.Energy.Edf ~n_tasks:4 0.9 with
+   | Some l -> check int "600MHz" 600 l.Rt.Energy.mhz
+   | None -> Alcotest.fail "expected a level");
+  check bool "unschedulable" true
+    (Rt.Energy.static_scale Rt.Energy.Edf ~n_tasks:4 1.1 = None)
+
+let test_static_scale_rms_conservative () =
+  (* same utilization needs a higher level under RMS's LL bound *)
+  let u = 0.7 in
+  match
+    ( Rt.Energy.static_scale Rt.Energy.Edf ~n_tasks:4 u,
+      Rt.Energy.static_scale Rt.Energy.Rms ~n_tasks:4 u )
+  with
+  | Some edf, Some rms ->
+    check bool "RMS >= EDF frequency" true (rms.Rt.Energy.mhz >= edf.Rt.Energy.mhz)
+  | _ -> Alcotest.fail "both should scale"
+
+let test_saving_percent () =
+  (* customization halves utilization -> lower level and fewer cycles *)
+  let pct =
+    Rt.Energy.saving_percent Rt.Energy.Edf ~n_tasks:4 ~base:(0.9, 0.9)
+      ~custom:(0.45, 0.45)
+  in
+  check bool "positive saving" true (pct > 0.)
+
+let prop_saving_nonnegative_when_custom_better =
+  QCheck.Test.make ~name:"energy saving >= 0 when customization reduces U"
+    ~count:200
+    QCheck.(pair (float_range 0.1 1.0) (float_range 0.0 0.9))
+    (fun (u_base, shrink) ->
+      let u_custom = u_base *. (1. -. shrink) in
+      Rt.Energy.saving_percent Rt.Energy.Edf ~n_tasks:4 ~base:(u_base, u_base)
+        ~custom:(u_custom, u_custom)
+      >= -1e-9)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rt"
+    [ ( "task",
+        [ Alcotest.test_case "basics" `Quick test_task_basics;
+          Alcotest.test_case "target utilization" `Quick test_target_utilization;
+          Alcotest.test_case "hyperperiod" `Quick test_hyperperiod ] );
+      ( "sched",
+        [ Alcotest.test_case "edf bound" `Quick test_edf_bound;
+          Alcotest.test_case "rms classic" `Quick test_rms_classic_example;
+          Alcotest.test_case "rms harmonic" `Quick test_rms_full_utilization_harmonic;
+          Alcotest.test_case "rms overload" `Quick test_rms_unschedulable_above_1;
+          Alcotest.test_case "LL bound values" `Quick test_ll_bound_values;
+          qt prop_rms_implies_edf;
+          qt prop_ll_implies_exact ] );
+      ( "response-time",
+        [ Alcotest.test_case "known values" `Quick test_rta_known_values;
+          Alcotest.test_case "divergence" `Quick test_rta_divergence;
+          qt prop_rta_agrees_with_exact_test ] );
+      ( "sim",
+        [ Alcotest.test_case "idle accounting" `Quick test_sim_idle_accounting;
+          Alcotest.test_case "detects overload" `Quick test_sim_detects_overload;
+          Alcotest.test_case "EDF vs RMS case" `Quick test_sim_rms_priority_inversion_case;
+          Alcotest.test_case "counts preemptions" `Quick test_sim_counts_preemptions;
+          qt prop_edf_bound_matches_simulation;
+          qt prop_rms_exact_matches_simulation ] );
+      ( "energy",
+        [ Alcotest.test_case "levels sorted" `Quick test_levels_sorted;
+          Alcotest.test_case "static scale EDF" `Quick test_static_scale_edf;
+          Alcotest.test_case "RMS conservative" `Quick test_static_scale_rms_conservative;
+          Alcotest.test_case "saving percent" `Quick test_saving_percent;
+          qt prop_saving_nonnegative_when_custom_better ] ) ]

@@ -1,0 +1,244 @@
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 42 and b = Util.Prng.create 42 in
+  for _ = 1 to 100 do
+    check int "same stream" (Util.Prng.int a 1000) (Util.Prng.int b 1000)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Util.Prng.create 1 and b = Util.Prng.create 2 in
+  let sa = List.init 20 (fun _ -> Util.Prng.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Util.Prng.int b 1_000_000) in
+  check bool "streams differ" true (sa <> sb)
+
+let test_prng_bounds () =
+  let p = Util.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int p 13 in
+    check bool "in range" true (v >= 0 && v < 13);
+    let r = Util.Prng.in_range p 5 9 in
+    check bool "in closed range" true (r >= 5 && r <= 9);
+    let f = Util.Prng.float p 2.5 in
+    check bool "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_prng_copy_independent () =
+  let a = Util.Prng.create 5 in
+  ignore (Util.Prng.int a 10);
+  let b = Util.Prng.copy a in
+  check int "copies agree" (Util.Prng.int a 1000) (Util.Prng.int b 1000)
+
+let test_prng_shuffle_permutes () =
+  let p = Util.Prng.create 11 in
+  let arr = Array.init 50 (fun i -> i) in
+  Util.Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool "is a permutation" true (sorted = Array.init 50 (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Numeric                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_gcd () =
+  check int "gcd 12 18" 6 (Util.Numeric.gcd 12 18);
+  check int "gcd 0 n" 7 (Util.Numeric.gcd 0 7);
+  check int "gcd n 0" 7 (Util.Numeric.gcd 7 0);
+  check int "gcd coprime" 1 (Util.Numeric.gcd 9 8);
+  check int "gcd list" 4 (Util.Numeric.gcd_list [ 8; 12; 20 ]);
+  check int "gcd empty" 0 (Util.Numeric.gcd_list [])
+
+let test_lcm () =
+  check int "lcm 4 6" 12 (Util.Numeric.lcm 4 6);
+  check int "lcm with zero" 0 (Util.Numeric.lcm 0 5);
+  check int "lcm list" 60 (Util.Numeric.lcm_list [ 4; 6; 10 ]);
+  check int "lcm empty" 1 (Util.Numeric.lcm_list [])
+
+let test_ceil_div () =
+  check int "exact" 3 (Util.Numeric.ceil_div 9 3);
+  check int "round up" 4 (Util.Numeric.ceil_div 10 3);
+  check int "zero" 0 (Util.Numeric.ceil_div 0 5)
+
+let test_clamp () =
+  check int "below" 2 (Util.Numeric.clamp ~lo:2 ~hi:8 1);
+  check int "above" 8 (Util.Numeric.clamp ~lo:2 ~hi:8 9);
+  check int "inside" 5 (Util.Numeric.clamp ~lo:2 ~hi:8 5)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Util.Bitset.create 20 in
+  check bool "fresh empty" true (Util.Bitset.is_empty s);
+  Util.Bitset.set s 3;
+  Util.Bitset.set s 17;
+  check bool "mem 3" true (Util.Bitset.mem s 3);
+  check bool "not mem 4" false (Util.Bitset.mem s 4);
+  check int "cardinal" 2 (Util.Bitset.cardinal s);
+  Util.Bitset.clear s 3;
+  check bool "cleared" false (Util.Bitset.mem s 3);
+  check Alcotest.(list int) "elements" [ 17 ] (Util.Bitset.elements s)
+
+let test_bitset_setops () =
+  let a = Util.Bitset.of_list 16 [ 1; 3; 5 ] in
+  let b = Util.Bitset.of_list 16 [ 3; 4 ] in
+  let u = Util.Bitset.copy a in
+  Util.Bitset.union_into u b;
+  check Alcotest.(list int) "union" [ 1; 3; 4; 5 ] (Util.Bitset.elements u);
+  let i = Util.Bitset.copy a in
+  Util.Bitset.inter_into i b;
+  check Alcotest.(list int) "inter" [ 3 ] (Util.Bitset.elements i);
+  let d = Util.Bitset.copy a in
+  Util.Bitset.diff_into d b;
+  check Alcotest.(list int) "diff" [ 1; 5 ] (Util.Bitset.elements d);
+  check bool "intersects" true (Util.Bitset.intersects a b);
+  check bool "subset of union" true (Util.Bitset.subset a u);
+  check bool "not subset" false (Util.Bitset.subset u a)
+
+let test_bitset_boundary () =
+  (* Last bit of a byte and first of the next. *)
+  let s = Util.Bitset.create 9 in
+  Util.Bitset.set s 7;
+  Util.Bitset.set s 8;
+  check int "cardinal across bytes" 2 (Util.Bitset.cardinal s);
+  check bool "bit 7" true (Util.Bitset.mem s 7);
+  check bool "bit 8" true (Util.Bitset.mem s 8)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" ~count:200
+    QCheck.(list (int_bound 63))
+    (fun l ->
+      let dedup = List.sort_uniq compare l in
+      Util.Bitset.elements (Util.Bitset.of_list 64 l) = dedup)
+
+(* ------------------------------------------------------------------ *)
+(* Pareto front                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let point cost value = { Util.Pareto_front.cost; value }
+
+let test_front_simple () =
+  let pts = [ point 0 10.; point 5 8.; point 5 9.; point 7 8.; point 9 6. ] in
+  let f = Util.Pareto_front.front pts in
+  check bool "is front" true (Util.Pareto_front.is_front f);
+  check int "size" 3 (List.length f);
+  check bool "keeps best at 5" true
+    (List.exists (fun p -> p = point 5 8.) f);
+  check bool "drops dominated (7,8)" false
+    (List.exists (fun p -> p = point 7 8.) f)
+
+let test_front_best_value_at () =
+  let f = Util.Pareto_front.front [ point 0 10.; point 4 6.; point 8 3. ] in
+  check (Alcotest.option (Alcotest.float 1e-9)) "budget 5" (Some 6.)
+    (Util.Pareto_front.best_value_at ~cost:5 f);
+  check (Alcotest.option (Alcotest.float 1e-9)) "budget 100" (Some 3.)
+    (Util.Pareto_front.best_value_at ~cost:100 f)
+
+let arb_points =
+  QCheck.(
+    list_of_size Gen.(int_range 0 40)
+      (map (fun (c, v) -> point (abs c mod 100) (float_of_int (abs v mod 100)))
+         (pair int int)))
+
+let prop_front_nondominated =
+  QCheck.Test.make ~name:"front members are mutually non-dominating" ~count:300
+    arb_points
+    (fun pts ->
+      let f = Util.Pareto_front.front pts in
+      Util.Pareto_front.is_front f)
+
+let prop_front_covers =
+  QCheck.Test.make ~name:"every input point is dominated-or-equal by the front"
+    ~count:300 arb_points
+    (fun pts ->
+      let f = Util.Pareto_front.front pts in
+      List.for_all
+        (fun p ->
+          List.exists
+            (fun q -> Util.Pareto_front.dominates q p || q = p)
+            f)
+        pts)
+
+let prop_front_eps_covers_self =
+  QCheck.Test.make ~name:"a front 0-covers itself" ~count:100 arb_points
+    (fun pts ->
+      let f = Util.Pareto_front.front pts in
+      Util.Pareto_front.eps_covers ~eps:0. ~exact:f f)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_roundtrip () =
+  List.iter
+    (fun f ->
+      let x = Util.Fixed.of_float f in
+      check (Alcotest.float 1e-4) "roundtrip" f (Util.Fixed.to_float x))
+    [ 0.; 1.; -1.; 3.14159; -2.71828; 100.5 ]
+
+let test_fixed_arith () =
+  let open Util.Fixed in
+  let a = of_float 2.5 and b = of_float 1.5 in
+  check (Alcotest.float 1e-4) "add" 4.0 (to_float (add a b));
+  check (Alcotest.float 1e-4) "sub" 1.0 (to_float (sub a b));
+  check (Alcotest.float 1e-3) "mul" 3.75 (to_float (mul a b));
+  check (Alcotest.float 1e-3) "div" (2.5 /. 1.5) (to_float (div a b))
+
+let test_fixed_sqrt () =
+  let open Util.Fixed in
+  List.iter
+    (fun f ->
+      check (Alcotest.float 1e-2) "sqrt" (Float.sqrt f)
+        (to_float (sqrt (of_float f))))
+    [ 0.25; 1.0; 2.0; 9.0; 100.0 ]
+
+let test_fixed_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Util.Fixed.div Util.Fixed.one Util.Fixed.zero))
+
+let prop_fixed_add_commutes =
+  QCheck.Test.make ~name:"fixed add commutes" ~count:200
+    QCheck.(pair (float_range (-1000.) 1000.) (float_range (-1000.) 1000.))
+    (fun (a, b) ->
+      let open Util.Fixed in
+      add (of_float a) (of_float b) = add (of_float b) (of_float a))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes ] );
+      ( "numeric",
+        [ Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "lcm" `Quick test_lcm;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "clamp" `Quick test_clamp ] );
+      ( "bitset",
+        [ Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "set operations" `Quick test_bitset_setops;
+          Alcotest.test_case "byte boundary" `Quick test_bitset_boundary;
+          qt prop_bitset_roundtrip ] );
+      ( "pareto",
+        [ Alcotest.test_case "simple front" `Quick test_front_simple;
+          Alcotest.test_case "best value at" `Quick test_front_best_value_at;
+          qt prop_front_nondominated;
+          qt prop_front_covers;
+          qt prop_front_eps_covers_self ] );
+      ( "fixed",
+        [ Alcotest.test_case "roundtrip" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "arithmetic" `Quick test_fixed_arith;
+          Alcotest.test_case "sqrt" `Quick test_fixed_sqrt;
+          Alcotest.test_case "div by zero" `Quick test_fixed_div_by_zero;
+          qt prop_fixed_add_commutes ] ) ]
