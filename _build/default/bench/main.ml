@@ -1,38 +1,107 @@
 (* Benchmark harness: regenerates every table and figure of the
-   evaluation.  With no arguments it runs everything in paper order;
-   pass experiment ids (e.g. `f3.3 t6.1`) to run a subset, or `--list`
-   to enumerate them. *)
+   evaluation.  With no arguments it runs everything in paper order
+   (plus the engine benchmark); pass experiment ids (e.g. `f3.3 t6.1`)
+   or `engine` to run a subset, or `--list` to enumerate them. *)
+
+let fmt = Format.std_formatter
 
 let usage () =
   Format.printf "usage: main.exe [--list | id ...]@.ids:@.";
   List.iter
     (fun (e : Experiments.Registry.experiment) ->
       Format.printf "  %-8s %s@." e.id e.title)
-    Experiments.Registry.all
+    Experiments.Registry.all;
+  Format.printf "  %-8s %s@." "engine"
+    "curve-generation engine: cold/warm cache, 1 vs N domains (BENCH_engine.json)"
 
 let run_one (e : Experiments.Registry.experiment) =
-  let fmt = Format.std_formatter in
-  let started = Unix.gettimeofday () in
-  e.run fmt;
-  Format.fprintf fmt "[%s completed in %.1fs]@." e.id
-    (Unix.gettimeofday () -. started);
+  let result = e.run () in
+  Experiments.Report.render fmt result;
+  Format.fprintf fmt "[%s completed in %.1fs]@." e.id result.elapsed;
   Format.pp_print_flush fmt ();
   flush stdout
+
+(* The engine benchmark: how long the shared task-set curves take to
+   generate cold-sequential, cold-parallel and warm-from-disk.  Uses its
+   own cache directory so it never pollutes (or is flattered by) the
+   user's `_cache/`. *)
+let engine_bench () =
+  let module Curves = Experiments.Curves in
+  let names =
+    List.concat_map Curves.taskset_ch3 [ 1; 2; 3; 4; 5; 6 ]
+    |> List.sort_uniq compare
+  in
+  let jobs = max 2 (Engine.Parallel.default_jobs ()) in
+  let saved_dir = Engine.Cache.dir () in
+  Engine.Cache.set_dir "_cache.bench";
+  Fun.protect ~finally:(fun () -> Engine.Cache.set_dir saved_dir) @@ fun () ->
+  ignore (Engine.Cache.clear ());
+  Engine.Telemetry.reset ();
+  Format.fprintf fmt "@.=== engine: curve generation, %d kernels ===@."
+    (List.length names);
+  Curves.reset ();
+  let (), cold_seq =
+    Experiments.Report.timed (fun () -> Curves.warm ~jobs:1 names)
+  in
+  ignore (Engine.Cache.clear ());
+  Curves.reset ();
+  let (), cold_par =
+    Experiments.Report.timed (fun () -> Curves.warm ~jobs names)
+  in
+  Curves.reset ();
+  let (), warm =
+    Experiments.Report.timed (fun () -> Curves.warm ~jobs:1 names)
+  in
+  let hits = Engine.Telemetry.counter "cache.hits"
+  and misses = Engine.Telemetry.counter "cache.misses" in
+  Format.fprintf fmt "cold, sequential      %8.2f s@." cold_seq;
+  Format.fprintf fmt "cold, %2d domains      %8.2f s  (%.2fx)@." jobs cold_par
+    (cold_seq /. Float.max 1e-9 cold_par);
+  Format.fprintf fmt "warm disk cache       %8.2f s  (%.0fx)@." warm
+    (cold_seq /. Float.max 1e-9 warm);
+  Format.fprintf fmt "cache hits/misses     %d/%d@." hits misses;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"kernels\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"cold_sequential_s\": %.4f,\n\
+      \  \"cold_parallel_s\": %.4f,\n\
+      \  \"warm_cache_s\": %.4f,\n\
+      \  \"parallel_speedup\": %.3f,\n\
+      \  \"warm_speedup\": %.3f,\n\
+      \  \"cache_hits\": %d,\n\
+      \  \"cache_misses\": %d,\n\
+      \  \"telemetry\": %s\n\
+       }\n"
+      (List.length names) jobs cold_seq cold_par warm
+      (cold_seq /. Float.max 1e-9 cold_par)
+      (cold_seq /. Float.max 1e-9 warm)
+      hits misses
+      (Engine.Telemetry.to_json ())
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc json;
+  close_out oc;
+  Format.fprintf fmt "[engine timings written to BENCH_engine.json]@.";
+  Format.pp_print_flush fmt ()
+
+let run_id id =
+  if id = "engine" then engine_bench ()
+  else
+    match Experiments.Registry.find id with
+    | Some e -> run_one e
+    | None ->
+      Format.eprintf "unknown experiment id: %s@." id;
+      usage ();
+      exit 1
 
 let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] ->
     Format.printf "Reproduction harness: instruction-set customization for \
                    real-time embedded systems (DATE 2007)@.";
-    List.iter run_one Experiments.Registry.all
+    List.iter run_one Experiments.Registry.all;
+    engine_bench ()
   | _ :: [ "--list" ] -> usage ()
-  | _ :: ids ->
-    List.iter
-      (fun id ->
-        match Experiments.Registry.find id with
-        | Some e -> run_one e
-        | None ->
-          Format.eprintf "unknown experiment id: %s@." id;
-          usage ();
-          exit 1)
-      ids
+  | _ :: ids -> List.iter run_id ids

@@ -7,11 +7,38 @@
      select <kernels...>          optimal inter-task selection (EDF/RMS)
      iterate <kernels...>         Chapter 5 iterative customization
      pareto <kernel>              exact / approximate workload-area fronts
-     experiment <id>              run one experiment from the registry *)
+     experiment <id>              run one experiment from the registry
+     cache show|clear             inspect / empty the persistent curve cache *)
 
 open Cmdliner
 
 let fmt = Format.std_formatter
+
+(* Flags shared by the curve-generating commands. *)
+
+let no_cache_arg =
+  let doc = "Bypass the persistent curve cache (neither read nor write it)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let stats_arg =
+  let doc = "Dump solver telemetry (counters and timers) after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Generate configuration curves on $(docv) parallel domains \
+     (default: sequential).  Results are bit-identical to a \
+     sequential run."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_no_cache no_cache = if no_cache then Engine.Cache.set_enabled false
+
+let print_stats stats =
+  if stats then begin
+    Format.fprintf fmt "@.--- telemetry ---@.";
+    Engine.Telemetry.pp_table fmt ()
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -39,16 +66,17 @@ let kernel_list_arg =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"KERNEL" ~doc)
 
 let resolve name =
-  match Kernels.find name with
-  | cfg -> cfg
-  | exception Not_found ->
+  match Kernels.find_opt name with
+  | Some cfg -> cfg
+  | None ->
     Format.eprintf "unknown kernel %s; try `isecustom kernels'@." name;
     exit 1
 
 let curve_cmd =
-  let run name =
-    let cfg = resolve name in
-    let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+  let run no_cache stats name =
+    apply_no_cache no_cache;
+    ignore (resolve name);
+    let curve = Experiments.Curves.curve name in
     Format.fprintf fmt "%-16s %-14s %s@." "area (adders)" "cycles" "speedup";
     let base = float_of_int (Isa.Config.base_cycles curve) in
     Array.iter
@@ -58,12 +86,13 @@ let curve_cmd =
           p.cycles
           (base /. float_of_int p.cycles))
       (Isa.Config.points curve);
+    print_stats stats;
     Format.pp_print_flush fmt ()
   in
   Cmd.v
     (Cmd.info "curve"
        ~doc:"Generate a kernel's configuration curve (identification + selection).")
-    Term.(const run $ kernel_arg)
+    Term.(const run $ no_cache_arg $ stats_arg $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -204,7 +233,8 @@ let experiment_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
   in
-  let run list id =
+  let run list jobs no_cache stats id =
+    apply_no_cache no_cache;
     if list then
       List.iter
         (fun (e : Experiments.Registry.experiment) ->
@@ -217,7 +247,14 @@ let experiment_cmd =
         exit 1
       | Some id ->
         (match Experiments.Registry.find id with
-         | Some e -> e.run fmt
+         | Some e ->
+           let result =
+             match jobs with
+             | Some jobs -> Experiments.Registry.run_parallel ~jobs e
+             | None -> e.run ()
+           in
+           Experiments.Report.render fmt result;
+           print_stats stats
          | None ->
            Format.eprintf "unknown experiment %s@." id;
            exit 1);
@@ -225,7 +262,40 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one experiment from the evaluation registry.")
-    Term.(const run $ list_arg $ id_arg)
+    Term.(const run $ list_arg $ jobs_arg $ no_cache_arg $ stats_arg $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let action_arg =
+    let doc = "$(b,show) lists the cached entries; $(b,clear) deletes them." in
+    Arg.(required
+         & pos 0 (some (enum [ ("show", `Show); ("clear", `Clear) ])) None
+         & info [] ~docv:"ACTION" ~doc)
+  in
+  let run action =
+    (match action with
+     | `Show ->
+       (match Engine.Cache.entries () with
+        | [] -> Format.fprintf fmt "cache %s is empty@." (Engine.Cache.dir ())
+        | entries ->
+          Format.fprintf fmt "%-14s %-10s %s@." "namespace" "bytes" "key";
+          List.iter
+            (fun (e : Engine.Cache.entry) ->
+              Format.fprintf fmt "%-14s %-10d %s@." e.namespace e.size e.key)
+            entries)
+     | `Clear ->
+       let n = Engine.Cache.clear () in
+       Format.fprintf fmt "removed %d entr%s from %s@." n
+         (if n = 1 then "y" else "ies")
+         (Engine.Cache.dir ()));
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect or empty the persistent curve cache (_cache/, \
+             overridable with ISECUSTOM_CACHE_DIR).")
+    Term.(const run $ action_arg)
 
 let () =
   let info =
@@ -236,4 +306,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
-            dot_cmd; experiment_cmd ]))
+            dot_cmd; experiment_cmd; cache_cmd ]))

@@ -1,1 +1,1 @@
-lib/core/edf_select.ml: Array Isa List Rt Selection Util
+lib/core/edf_select.ml: Array Engine Isa List Rt Selection Util

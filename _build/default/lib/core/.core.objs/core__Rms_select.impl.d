@@ -1,1 +1,1 @@
-lib/core/rms_select.ml: Array Isa List Option Rt Selection
+lib/core/rms_select.ml: Array Engine Isa List Option Rt Selection

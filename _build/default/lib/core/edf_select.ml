@@ -11,12 +11,14 @@ let granularity ~budget tasks =
 
 let run ~budget tasks =
   if budget < 0 then invalid_arg "Edf_select.run: negative budget";
+  Engine.Telemetry.time "edf.select" @@ fun () ->
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   if n = 0 then Selection.of_assignment []
   else begin
     let delta = granularity ~budget (Array.to_list tasks) in
     let cells = (budget / delta) + 1 in
+    Engine.Telemetry.add "edf.dp_cells" (n * cells);
     (* u.(a) = best utilization of the processed prefix with area budget
        a·Δ; choice.(i).(a) = configuration index picked for task i. *)
     let u = Array.make cells 0. in

@@ -10,6 +10,7 @@ let sort_by_priority tasks =
 
 let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
   if budget < 0 then invalid_arg "Rms_select.run: negative budget";
+  Engine.Telemetry.time "rms.select" @@ fun () ->
   let tasks = Array.of_list (sort_by_priority tasks) in
   let n = Array.length tasks in
   (* Best achievable utilization of each suffix, area ignored — the
@@ -67,6 +68,10 @@ let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
     end
   in
   search 0 0 0.;
+  Engine.Telemetry.add "rms.explored" !explored;
+  Engine.Telemetry.add "rms.pruned_bound" !pruned_bound;
+  Engine.Telemetry.add "rms.pruned_schedulability" !pruned_schedulability;
+  Engine.Telemetry.add "rms.pruned_area" !pruned_area;
   ( Option.map Selection.of_assignment !incumbent,
     { explored = !explored; pruned_bound = !pruned_bound;
       pruned_schedulability = !pruned_schedulability; pruned_area = !pruned_area } )

@@ -1,0 +1,1 @@
+lib/engine/cache.ml: Array Digest Filename Fun List Marshal Option Printf String Sys Telemetry Unix

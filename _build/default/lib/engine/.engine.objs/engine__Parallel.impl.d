@@ -1,0 +1,1 @@
+lib/engine/parallel.ml: Array Atomic Domain List

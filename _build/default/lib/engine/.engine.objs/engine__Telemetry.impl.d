@@ -1,0 +1,1 @@
+lib/engine/telemetry.ml: Buffer Char Format Fun Hashtbl List Mutex Option Printf String Unix

@@ -1,0 +1,107 @@
+let format_version = 1
+let magic = "ISECACHE"
+
+let dir_ref =
+  ref (Option.value ~default:"_cache" (Sys.getenv_opt "ISECUSTOM_CACHE_DIR"))
+
+let dir () = !dir_ref
+let set_dir d = dir_ref := d
+
+let enabled_ref = ref true
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+let file_of ~namespace ~key =
+  Filename.concat (dir ())
+    (Printf.sprintf "%s-%s.cache" namespace
+       (Digest.to_hex (Digest.string key)))
+
+let ensure_dir () =
+  let d = dir () in
+  if not (Sys.file_exists d) then
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* One marshalled 6-tuple per entry.  The payload is itself a marshalled
+   string so that a partial read fails inside the outer unmarshal (or the
+   digest check) instead of producing a half-built value. *)
+type header = string * int * string * string * string (* magic, version, ns, key, digest *)
+
+let write_versioned ~version ~namespace ~key payload =
+  ensure_dir ();
+  let file = file_of ~namespace ~key in
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Marshal.to_channel oc
+        (((magic, version, namespace, key, Digest.string payload), payload)
+          : header * string)
+        []);
+  Sys.rename tmp file
+
+let store_versioned ~version ~namespace ~key v =
+  if enabled () then
+    write_versioned ~version ~namespace ~key (Marshal.to_string v [])
+
+let store ~namespace ~key v =
+  store_versioned ~version:format_version ~namespace ~key v
+
+let read_entry file : (header * string) option =
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (* Any corruption — truncation, garbage, a foreign file — lands
+           here as an exception or a failed check and reads as a miss. *)
+        match (Marshal.from_channel ic : header * string) with
+        | ((m, v, ns, k, digest), payload)
+          when m = magic && v = format_version
+               && Digest.equal digest (Digest.string payload) ->
+          Some ((m, v, ns, k, digest), payload)
+        | _ -> None
+        | exception _ -> None)
+
+let find ~namespace ~key () =
+  if not (enabled ()) then None
+  else begin
+    let result =
+      match read_entry (file_of ~namespace ~key) with
+      | Some ((_, _, ns, k, _), payload) when ns = namespace && k = key ->
+        (try Some (Marshal.from_string payload 0) with _ -> None)
+      | Some _ | None -> None
+    in
+    Telemetry.incr (if result = None then "cache.misses" else "cache.hits");
+    result
+  end
+
+type entry = { namespace : string; key : string; file : string; size : int }
+
+let cache_files () =
+  match Sys.readdir (dir ()) with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".cache")
+    |> List.sort compare
+    |> List.map (Filename.concat (dir ()))
+
+let entries () =
+  List.filter_map
+    (fun file ->
+      match read_entry file with
+      | Some ((_, _, namespace, key, _), payload) ->
+        Some { namespace; key; file; size = String.length payload }
+      | None ->
+        (* keep corrupt/outdated files visible so `cache show` explains
+           what `cache clear` would reclaim *)
+        Some { namespace = "<unreadable>"; key = "-"; file;
+               size = (try (Unix.stat file).Unix.st_size with _ -> 0) })
+    (cache_files ())
+
+let clear () =
+  let files = cache_files () in
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+  List.length files

@@ -1,0 +1,48 @@
+(** Persistent on-disk result cache (curves, candidate libraries).
+
+    One file per entry under {!dir} (default [_cache/], overridable with
+    the [ISECUSTOM_CACHE_DIR] environment variable), written with an
+    atomic temp-file-plus-rename so a crash never leaves a half-written
+    entry visible.  Every entry is versioned ({!format_version}) and
+    digest-checked on load; truncated, corrupt or outdated files read as
+    misses instead of raising.  Lookups report ["cache.hits"] /
+    ["cache.misses"] into {!Telemetry}.
+
+    Values are stored with [Marshal]; callers are responsible for using
+    a distinct [namespace] per value type (the namespace and full key
+    are verified on load, so a key collision across namespaces cannot
+    alias). *)
+
+val format_version : int
+(** Bumped whenever the stored value layout changes; older entries then
+    read as misses. *)
+
+val dir : unit -> string
+val set_dir : string -> unit
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** When disabled, {!find} returns [None] without touching the disk or
+    telemetry and {!store} is a no-op (the CLI's [--no-cache]). *)
+
+val file_of : namespace:string -> key:string -> string
+(** Path an entry lives at (exposed for tests and [cache show]). *)
+
+val find : namespace:string -> key:string -> unit -> 'a option
+(** Typed load.  The caller must request the same type it stored under
+    this namespace — the usual [Marshal] contract. *)
+
+val store : namespace:string -> key:string -> 'a -> unit
+
+val store_versioned : version:int -> namespace:string -> key:string -> 'a -> unit
+(** Like {!store} with an explicit format version — exposed so tests can
+    fabricate outdated entries and migrations can backfill. *)
+
+type entry = { namespace : string; key : string; file : string; size : int }
+
+val entries : unit -> entry list
+(** Everything in the cache directory, including unreadable files
+    (reported with namespace ["<unreadable>"]). *)
+
+val clear : unit -> int
+(** Delete all cache files; returns how many were removed. *)

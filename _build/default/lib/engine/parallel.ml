@@ -1,0 +1,41 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Work-stealing over an atomic index into a shared input array.  Each
+   worker writes only its own output slots, so no result synchronisation
+   is needed; ordering the output array by input index makes the result
+   independent of scheduling, i.e. deterministic. *)
+let map ?jobs f xs =
+  let n = List.length xs in
+  let jobs =
+    let requested = match jobs with Some j -> j | None -> default_jobs () in
+    max 1 (min requested n)
+  in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get failure = None then begin
+        (try output.(i) <- Some (f input.(i))
+         with e ->
+           (* keep the first failure; later ones lose the race and are
+              dropped, as List.map would also only surface one *)
+           ignore (Atomic.compare_and_set failure None (Some e)));
+        worker ()
+      end
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) output)
+  end
+
+let map_reduce ?jobs ~map:f ~reduce init xs =
+  (* reduce in input order so the result is deterministic even for
+     merely-associative (non-commutative) reducers *)
+  List.fold_left reduce init (map ?jobs f xs)

@@ -1,0 +1,23 @@
+(** A domain pool for data-parallel sweeps (OCaml 5 [Domain]s).
+
+    Results are always returned in input order and are bit-identical to
+    the sequential path — workers communicate only through disjoint
+    output slots, so scheduling cannot reorder or merge anything.  With
+    [jobs = 1] (or on a single-core machine, the default) no domain is
+    spawned and the call degrades to [List.map]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] = [List.map f xs], computed by up to [jobs] domains
+    pulling items off a shared queue ([jobs] defaults to
+    {!default_jobs}; it is clamped to the list length).  If any [f]
+    raises, the first exception is re-raised in the caller after all
+    workers have drained.  [f] must be safe to run concurrently with
+    itself (the whole pipeline below [Ise.Curve] is pure). *)
+
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+(** Parallel map followed by a sequential in-order fold, so the result
+    is deterministic for any reducer. *)

@@ -1,0 +1,78 @@
+(* Counters and timers are shared by every domain of the parallel
+   engine, so all access goes through one mutex; the hot paths touch
+   them once per algorithm invocation, not per inner-loop step, which
+   keeps contention negligible. *)
+
+let lock = Mutex.create ()
+let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+let timers_tbl : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let protect f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let add name n =
+  if n <> 0 then
+    protect (fun () ->
+        let v = Option.value ~default:0 (Hashtbl.find_opt counters_tbl name) in
+        Hashtbl.replace counters_tbl name (v + n))
+
+let incr name = add name 1
+
+let counter name =
+  protect (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt counters_tbl name))
+
+let add_time name dt =
+  protect (fun () ->
+      let v = Option.value ~default:0. (Hashtbl.find_opt timers_tbl name) in
+      Hashtbl.replace timers_tbl name (v +. dt))
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0)) f
+
+let timer name =
+  protect (fun () ->
+      Option.value ~default:0. (Hashtbl.find_opt timers_tbl name))
+
+let sorted tbl =
+  protect (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted counters_tbl
+let timers () = sorted timers_tbl
+
+let reset () =
+  protect (fun () ->
+      Hashtbl.reset counters_tbl;
+      Hashtbl.reset timers_tbl)
+
+let pp_table fmt () =
+  let cs = counters () and ts = timers () in
+  if cs = [] && ts = [] then Format.fprintf fmt "no telemetry recorded@."
+  else begin
+    List.iter (fun (k, v) -> Format.fprintf fmt "%-32s %14d@." k v) cs;
+    List.iter (fun (k, v) -> Format.fprintf fmt "%-32s %12.3f s@." k v) ts
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () =
+  let field (k, v) = Printf.sprintf "\"%s\": %s" (json_escape k) v in
+  let cs = List.map (fun (k, v) -> field (k, string_of_int v)) (counters ()) in
+  let ts = List.map (fun (k, v) -> field (k, Printf.sprintf "%.6f" v)) (timers ()) in
+  Printf.sprintf "{\"counters\": {%s}, \"timers\": {%s}}"
+    (String.concat ", " cs) (String.concat ", " ts)

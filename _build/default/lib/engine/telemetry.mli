@@ -1,0 +1,42 @@
+(** Solver telemetry: named monotone counters and cumulative wall-clock
+    timers, reported into by the identification/selection pipeline
+    ([Ise.Enumerate], [Ise.Select], [Ise.Curve]), the Chapter 3 solvers
+    ([Core.Edf_select], [Core.Rms_select]) and the engine's cache.
+
+    All operations are domain-safe, so workers of {!Parallel} can report
+    concurrently.  Counter names are dotted paths, e.g.
+    ["enumerate.candidates"], ["select.bnb_nodes"], ["cache.hits"]. *)
+
+val incr : string -> unit
+(** Add 1 to a counter (created at 0 on first use). *)
+
+val add : string -> int -> unit
+(** Add [n] to a counter. *)
+
+val counter : string -> int
+(** Current value of a counter; 0 if never touched. *)
+
+val add_time : string -> float -> unit
+(** Add elapsed seconds to a timer. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run a thunk, accumulating its wall-clock time into the named timer
+    (also on exception). *)
+
+val timer : string -> float
+(** Accumulated seconds of a timer; 0 if never touched. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val timers : unit -> (string * float) list
+(** All timers, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero everything (counters and timers). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable two-column dump. *)
+
+val to_json : unit -> string
+(** [{"counters": {...}, "timers": {...}}]. *)

@@ -1,1 +1,1 @@
-lib/experiments/curves.ml: Hashtbl Isa Ise Kernels List Printf Rt Util
+lib/experiments/curves.ml: Engine Hashtbl Isa Ise Kernels List Printf Rt Util

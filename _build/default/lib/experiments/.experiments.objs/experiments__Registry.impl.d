@@ -1,1 +1,1 @@
-lib/experiments/registry.ml: Ablations Ch3 Ch4 Ch5 Ch6 Ch7 Format List Micro
+lib/experiments/registry.ml: Ablations Ch3 Ch4 Ch5 Ch6 Ch7 Curves List Micro Report

@@ -1,1 +1,1 @@
-lib/experiments/registry.mli: Format
+lib/experiments/registry.mli: Report

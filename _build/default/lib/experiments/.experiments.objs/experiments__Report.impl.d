@@ -1,1 +1,1 @@
-lib/experiments/report.ml: Format Printf String Unix
+lib/experiments/report.ml: Buffer Char Format List Printf String Unix

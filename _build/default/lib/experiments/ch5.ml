@@ -78,7 +78,9 @@ let figure_5_4 fmt =
     List.iter
       (fun u ->
         let result, elapsed =
-          Report.timed (fun () -> Iterative.Driver.run (driver_inputs set u))
+          Report.timed_into fmt
+            (Printf.sprintf "set %d U=%.1f" set u)
+            (fun () -> Iterative.Driver.run (driver_inputs set u))
         in
         Report.row fmt
           [ Report.cell ~width:8 (string_of_int set);

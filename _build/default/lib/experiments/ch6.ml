@@ -118,7 +118,7 @@ let jpeg_problem ~max_area ~reconfig_cost =
   let mk_loop name block_builder iterations =
     let dfg = block_builder () in
     let cfg = { Ir.Cfg.name; code = Ir.Cfg.loop iterations (Ir.Cfg.block "body" dfg) } in
-    let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+    let curve = Ise.Curve.generate ~params:Ise.Curve.small cfg in
     let points =
       Array.to_list (Isa.Config.points curve)
       |> List.filter_map (fun (pt : Isa.Config.point) ->

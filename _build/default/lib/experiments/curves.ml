@@ -1,25 +1,71 @@
+let params = Ise.Curve.small
+
+(* Two-level cache: a per-process memo table in front of the persistent
+   Engine.Cache store, so one process never deserialises an entry twice
+   and a warm process never regenerates a curve at all.  Namespaces
+   carry a schema tag; bump them (or Engine.Cache.format_version) when
+   the stored value's meaning changes. *)
+let curve_ns = "curve"
+let cand_ns = "candidates"
+
 let curve_table : (string, Isa.Config.t) Hashtbl.t = Hashtbl.create 32
 let candidate_table : (string, Ise.Select.candidate list) Hashtbl.t = Hashtbl.create 32
 
-let curve name =
-  match Hashtbl.find_opt curve_table name with
-  | Some c -> c
+let reset () =
+  Hashtbl.reset curve_table;
+  Hashtbl.reset candidate_table
+
+let key_of name = name ^ "|" ^ Ise.Curve.params_key params
+
+let cached table ~namespace ~generate name =
+  match Hashtbl.find_opt table name with
+  | Some v ->
+    Engine.Telemetry.incr "curves.memo_hits";
+    v
   | None ->
-    let c =
-      Ise.Curve.generate ~budget:Ise.Enumerate.small_budget (Kernels.find name)
+    let key = key_of name in
+    let v =
+      match Engine.Cache.find ~namespace ~key () with
+      | Some v -> v
+      | None ->
+        let v = generate (Kernels.find name) in
+        Engine.Cache.store ~namespace ~key v;
+        v
     in
-    Hashtbl.add curve_table name c;
-    c
+    Hashtbl.add table name v;
+    v
+
+let curve name =
+  cached curve_table ~namespace:curve_ns
+    ~generate:(Ise.Curve.generate ~params) name
 
 let candidates name =
-  match Hashtbl.find_opt candidate_table name with
-  | Some c -> c
-  | None ->
-    let c =
-      Ise.Curve.candidates ~budget:Ise.Enumerate.small_budget (Kernels.find name)
-    in
-    Hashtbl.add candidate_table name c;
-    c
+  cached candidate_table ~namespace:cand_ns
+    ~generate:(Ise.Curve.candidates ~params) name
+
+let warm ?jobs names =
+  let missing =
+    List.sort_uniq compare names
+    |> List.filter (fun n -> not (Hashtbl.mem curve_table n))
+  in
+  (* pull persisted curves first so domains are spawned only for real
+     generation work *)
+  let to_generate =
+    List.filter
+      (fun name ->
+        match Engine.Cache.find ~namespace:curve_ns ~key:(key_of name) () with
+        | Some c ->
+          Hashtbl.replace curve_table name c;
+          false
+        | None -> true)
+      missing
+  in
+  Engine.Parallel.map ?jobs
+    (fun name -> (name, Ise.Curve.generate ~params (Kernels.find name)))
+    to_generate
+  |> List.iter (fun (name, c) ->
+         Engine.Cache.store ~namespace:curve_ns ~key:(key_of name) c;
+         Hashtbl.replace curve_table name c)
 
 let taskset_ch3 = function
   | 1 -> [ "crc32"; "sha"; "jpeg_dec"; "blowfish" ]

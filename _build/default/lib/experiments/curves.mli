@@ -1,15 +1,32 @@
-(** Memoized per-kernel configuration curves and the published task-set
+(** Cached per-kernel configuration curves and the published task-set
     compositions.
 
     Curve generation (the XPRES substitute) is the expensive part of the
-    Chapter 3/4 experiments, so curves are computed once per kernel and
-    shared by every experiment in the process. *)
+    Chapter 3/4 experiments, so curves live in a two-level cache: a
+    per-process memo table backed by the persistent on-disk store
+    ([Engine.Cache], under [_cache/]).  A warm process therefore never
+    regenerates a curve; telemetry distinguishes ["curves.memo_hits"]
+    from the engine's ["cache.hits"] / ["cache.misses"]. *)
+
+val params : Ise.Curve.params
+(** The generation parameters every experiment shares
+    ([Ise.Curve.small]); they are part of the persistent cache key. *)
 
 val curve : string -> Isa.Config.t
-(** Configuration curve of a kernel by benchmark name (memoized). *)
+(** Configuration curve of a kernel by benchmark name (cached). *)
 
 val candidates : string -> Ise.Select.candidate list
-(** Custom-instruction candidates of a kernel (memoized). *)
+(** Custom-instruction candidates of a kernel (cached). *)
+
+val warm : ?jobs:int -> string list -> unit
+(** Ensure every named kernel's curve is resident: disk-cached curves
+    are loaded, the rest are generated concurrently on up to [jobs]
+    domains ([Engine.Parallel.map]) and persisted.  Results are
+    bit-identical to sequential generation. *)
+
+val reset : unit -> unit
+(** Drop the in-process memo tables (the persistent store is
+    untouched) — used by benchmarks to measure cold paths. *)
 
 val taskset_ch3 : int -> string list
 (** Composition of Table 3.1's task sets (1-based index 1..6). *)

@@ -1,38 +1,67 @@
 type experiment = {
   id : string;
   title : string;
-  run : Format.formatter -> unit;
+  run : unit -> Report.result;
 }
 
+let exp id title driver = { id; title; run = (fun () -> Report.collect driver) }
+
 let all =
-  [ { id = "t3.1"; title = "Table 3.1: composition of task sets"; run = Ch3.table_3_1 };
-    { id = "f3.1"; title = "Figure 3.1: performance vs area (g721)"; run = Ch3.figure_3_1 };
-    { id = "f3.2"; title = "Figure 3.2: heuristics vs optimal"; run = Ch3.figure_3_2 };
-    { id = "f3.3"; title = "Figure 3.3: utilization vs area (EDF/RMS)"; run = Ch3.figure_3_3 };
-    { id = "f3.4"; title = "Figure 3.4: energy vs area (task set 3)"; run = Ch3.figure_3_4 };
-    { id = "t4.1"; title = "Table 4.1: composition of task sets"; run = Ch4.table_4_1 };
-    { id = "t4.2"; title = "Table 4.2: approximation-scheme speedup"; run = Ch4.table_4_2 };
-    { id = "f4.4"; title = "Figure 4.4: exact vs approximate Pareto"; run = Ch4.figure_4_4 };
-    { id = "t5.1"; title = "Table 5.1: benchmark characteristics"; run = Ch5.table_5_1 };
-    { id = "t5.2"; title = "Table 5.2: task sets"; run = Ch5.table_5_2 };
-    { id = "f5.3"; title = "Figure 5.3: utilization vs iterations"; run = Ch5.figure_5_3 };
-    { id = "f5.4"; title = "Figure 5.4: analysis time and area vs U"; run = Ch5.figure_5_4 };
-    { id = "f5.5"; title = "Figure 5.5: speedup vs analysis time"; run = Ch5.figure_5_5 };
-    { id = "f5.6"; title = "Figure 5.6: area vs speedup"; run = Ch5.figure_5_6 };
-    { id = "t6.1"; title = "Table 6.1: algorithm running times"; run = Ch6.table_6_1 };
-    { id = "f6.4"; title = "Figure 6.4: motivating example"; run = Ch6.figure_6_4 };
-    { id = "f6.8"; title = "Figure 6.8: solution quality"; run = Ch6.figure_6_8 };
-    { id = "t6.2"; title = "Table 6.2: JPEG CIS versions"; run = Ch6.table_6_2 };
-    { id = "f6.10"; title = "Figure 6.10: JPEG solution quality"; run = Ch6.figure_6_10 };
-    { id = "t7.1"; title = "Table 7.1: CIS versions of the tasks"; run = Ch7.table_7_1 };
-    { id = "f7.4"; title = "Figure 7.4: DP vs Optimal vs Static"; run = Ch7.figure_7_4 };
-    { id = "t7.2"; title = "Table 7.2: Optimal vs DP running time"; run = Ch7.table_7_2 };
-    { id = "a1"; title = "Ablation: MLGP refinement"; run = Ablations.mlgp_refinement };
-    { id = "a2"; title = "Ablation: RMS B&B pruning"; run = Ablations.rms_pruning };
-    { id = "a3"; title = "Ablation: temporal balance portfolio"; run = Ablations.reconfig_portfolio };
-    { id = "a4"; title = "Ablation: identification budget"; run = Ablations.enumeration_budget };
-    { id = "micro"; title = "Bechamel micro-benchmarks"; run = Micro.run } ]
+  [ exp "t3.1" "Table 3.1: composition of task sets" Ch3.table_3_1;
+    exp "f3.1" "Figure 3.1: performance vs area (g721)" Ch3.figure_3_1;
+    exp "f3.2" "Figure 3.2: heuristics vs optimal" Ch3.figure_3_2;
+    exp "f3.3" "Figure 3.3: utilization vs area (EDF/RMS)" Ch3.figure_3_3;
+    exp "f3.4" "Figure 3.4: energy vs area (task set 3)" Ch3.figure_3_4;
+    exp "t4.1" "Table 4.1: composition of task sets" Ch4.table_4_1;
+    exp "t4.2" "Table 4.2: approximation-scheme speedup" Ch4.table_4_2;
+    exp "f4.4" "Figure 4.4: exact vs approximate Pareto" Ch4.figure_4_4;
+    exp "t5.1" "Table 5.1: benchmark characteristics" Ch5.table_5_1;
+    exp "t5.2" "Table 5.2: task sets" Ch5.table_5_2;
+    exp "f5.3" "Figure 5.3: utilization vs iterations" Ch5.figure_5_3;
+    exp "f5.4" "Figure 5.4: analysis time and area vs U" Ch5.figure_5_4;
+    exp "f5.5" "Figure 5.5: speedup vs analysis time" Ch5.figure_5_5;
+    exp "f5.6" "Figure 5.6: area vs speedup" Ch5.figure_5_6;
+    exp "t6.1" "Table 6.1: algorithm running times" Ch6.table_6_1;
+    exp "f6.4" "Figure 6.4: motivating example" Ch6.figure_6_4;
+    exp "f6.8" "Figure 6.8: solution quality" Ch6.figure_6_8;
+    exp "t6.2" "Table 6.2: JPEG CIS versions" Ch6.table_6_2;
+    exp "f6.10" "Figure 6.10: JPEG solution quality" Ch6.figure_6_10;
+    exp "t7.1" "Table 7.1: CIS versions of the tasks" Ch7.table_7_1;
+    exp "f7.4" "Figure 7.4: DP vs Optimal vs Static" Ch7.figure_7_4;
+    exp "t7.2" "Table 7.2: Optimal vs DP running time" Ch7.table_7_2;
+    exp "a1" "Ablation: MLGP refinement" Ablations.mlgp_refinement;
+    exp "a2" "Ablation: RMS B&B pruning" Ablations.rms_pruning;
+    exp "a3" "Ablation: temporal balance portfolio" Ablations.reconfig_portfolio;
+    exp "a4" "Ablation: identification budget" Ablations.enumeration_budget;
+    exp "micro" "Bechamel micro-benchmarks" Micro.run ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
+
+(* Kernels whose configuration curves the experiment pulls through
+   Curves.curve — the set the parallel runner pre-generates.  Drivers
+   that build bespoke curves (ch5's iterative runs, ch6's JPEG loops,
+   a4's budget sweep) warm nothing: their curves are not cacheable under
+   the shared key. *)
+let kernels_of e =
+  let union_of taskset sets = List.concat_map taskset sets in
+  let ch7_pool = [ "lms"; "ndes"; "jfdctint"; "edn"; "compress"; "adpcm_enc"; "aes"; "md5" ] in
+  let names =
+    match e.id with
+    | "f3.1" -> [ "g721decode" ]
+    | "f3.3" | "a2" -> union_of Curves.taskset_ch3 [ 1; 2; 3; 4; 5; 6 ]
+    | "f3.4" -> Curves.taskset_ch3 3
+    | "t4.2" -> union_of Curves.taskset_ch4 [ 1; 2; 3; 4; 5 ]
+    | "f4.4" -> "g721decode" :: Curves.taskset_ch4 1
+    | "t7.1" | "f7.4" | "t7.2" | "micro" -> ch7_pool
+    | _ -> []
+  in
+  List.sort_uniq compare names
+
+let run_parallel ?jobs e =
+  let _, warm_time =
+    Report.timed (fun () -> Curves.warm ?jobs (kernels_of e))
+  in
+  let result = e.run () in
+  { result with timings = ("curve-prewarm", warm_time) :: result.timings }

@@ -4,7 +4,8 @@
 type experiment = {
   id : string;  (** short id, e.g. "f3.3" *)
   title : string;
-  run : Format.formatter -> unit;
+  run : unit -> Report.result;
+      (** execute the driver and return its structured report *)
 }
 
 val all : experiment list
@@ -13,3 +14,13 @@ val all : experiment list
 val find : string -> experiment option
 
 val ids : unit -> string list
+
+val kernels_of : experiment -> string list
+(** The benchmark kernels whose shared configuration curves the
+    experiment consumes (via [Curves.curve]) — the work the parallel
+    runner front-loads. *)
+
+val run_parallel : ?jobs:int -> experiment -> Report.result
+(** Generate all of {!kernels_of}'s missing curves concurrently (see
+    [Curves.warm]), then run the experiment; the warm-up time is
+    prepended to the result's [timings] as ["curve-prewarm"]. *)

@@ -1,8 +1,35 @@
-let banner fmt ~id title =
-  Format.fprintf fmt "@.=== %s: %s ===@." id title
+type result = {
+  banner : (string * string) option;
+  rows : string list list;
+  timings : (string * float) list;
+  elapsed : float;
+}
 
-let row fmt cells =
-  Format.fprintf fmt "%s@." (String.concat "  " cells)
+type t = {
+  mutable header : (string * string) option;
+  mutable rows_rev : string list list;
+  mutable timings_rev : (string * float) list;
+}
+
+let create () = { header = None; rows_rev = []; timings_rev = [] }
+
+let banner t ~id title = t.header <- Some (id, title)
+
+let row t cells = t.rows_rev <- cells :: t.rows_rev
+
+let timing t label dt = t.timings_rev <- (label, dt) :: t.timings_rev
+
+let result ?(elapsed = 0.) t =
+  { banner = t.header;
+    rows = List.rev t.rows_rev;
+    timings = List.rev t.timings_rev;
+    elapsed }
+
+let collect f =
+  let t = create () in
+  let t0 = Unix.gettimeofday () in
+  f t;
+  result ~elapsed:(Unix.gettimeofday () -. t0) t
 
 let pad width s align =
   let n = String.length s in
@@ -19,4 +46,60 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let timed_into t label f =
+  let r, dt = timed f in
+  timing t label dt;
+  (r, dt)
+
 let pct v = Printf.sprintf "%.1f%%" v
+
+let render fmt r =
+  (match r.banner with
+   | Some (id, title) -> Format.fprintf fmt "@.=== %s: %s ===@." id title
+   | None -> ());
+  List.iter
+    (fun cells -> Format.fprintf fmt "%s@." (String.concat "  " cells))
+    r.rows
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json r =
+  let trimmed_rows =
+    List.map (fun cells -> List.map String.trim cells) r.rows
+  in
+  let rows =
+    trimmed_rows
+    |> List.map (fun cells ->
+           "[" ^ String.concat ", " (List.map json_string cells) ^ "]")
+    |> String.concat ", "
+  in
+  let timings =
+    r.timings
+    |> List.map (fun (label, dt) ->
+           Printf.sprintf "%s: %.6f" (json_string label) dt)
+    |> String.concat ", "
+  in
+  let banner =
+    match r.banner with
+    | Some (id, title) ->
+      Printf.sprintf "{\"id\": %s, \"title\": %s}" (json_string id)
+        (json_string title)
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"banner\": %s, \"rows\": [%s], \"timings\": {%s}, \"elapsed\": %.6f}"
+    banner rows timings r.elapsed

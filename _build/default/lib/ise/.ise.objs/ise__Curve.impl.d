@@ -1,1 +1,1 @@
-lib/ise/curve.ml: Float Ir Isa List Select Util
+lib/ise/curve.ml: Engine Enumerate Float Ir Isa List Printf Select Util

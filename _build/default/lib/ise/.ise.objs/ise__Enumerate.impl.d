@@ -1,1 +1,1 @@
-lib/ise/enumerate.ml: Hashtbl Ir Isa List Queue String Util
+lib/ise/enumerate.ml: Engine Hashtbl Ir Isa List Queue String Util

@@ -1,1 +1,1 @@
-lib/ise/select.ml: Array Enumerate Isa List Util
+lib/ise/select.ml: Array Engine Enumerate Isa List Util

@@ -1,3 +1,25 @@
+type params = {
+  constraints : Isa.Hw_model.constraints;
+  budget : Enumerate.budget;
+  hot_threshold : float;
+  sweep_points : int;
+}
+
+let default =
+  { constraints = Isa.Hw_model.default_constraints;
+    budget = Enumerate.default_budget;
+    hot_threshold = 0.01;
+    sweep_points = 24 }
+
+let small = { default with budget = Enumerate.small_budget }
+
+let params_key p =
+  Printf.sprintf "io=%d:%d;budget=%d:%d:%d;hot=%h;sweep=%d"
+    p.constraints.Isa.Hw_model.max_inputs
+    p.constraints.Isa.Hw_model.max_outputs
+    p.budget.Enumerate.max_size p.budget.Enumerate.max_explored
+    p.budget.Enumerate.max_candidates p.hot_threshold p.sweep_points
+
 let profile_cycles profile =
   Util.Numeric.sum_byf
     (fun (b, freq) -> freq *. float_of_int (Ir.Cfg.block_cycles b))
@@ -6,35 +28,52 @@ let profile_cycles profile =
 let base_cycles cfg =
   int_of_float (Float.round (profile_cycles (Ir.Cfg.profile cfg)))
 
-let candidates ?constraints ?budget ?(hot_threshold = 0.01) cfg =
+let candidates ?(params = default) cfg =
+  Engine.Telemetry.time "curve.candidates" @@ fun () ->
   let profile = Ir.Cfg.profile cfg in
   let total = profile_cycles profile in
   let hot =
     List.filteri (fun _ (b, freq) ->
-        freq *. float_of_int (Ir.Cfg.block_cycles b) >= hot_threshold *. total)
+        freq *. float_of_int (Ir.Cfg.block_cycles b)
+        >= params.hot_threshold *. total)
       profile
   in
   List.concat
     (List.mapi
        (fun block (b, freq) ->
-         Select.candidates_of_block ?constraints ?budget ~block ~freq
-           b.Ir.Cfg.body)
+         Select.candidates_of_block ~constraints:params.constraints
+           ~budget:params.budget ~block ~freq b.Ir.Cfg.body)
        hot)
 
-let generate ?constraints ?budget ?hot_threshold ?(sweep_points = 24) cfg =
-  let cands = candidates ?constraints ?budget ?hot_threshold cfg in
+let generate ?(params = default) cfg =
+  Engine.Telemetry.time "curve.generate" @@ fun () ->
+  let cands = candidates ~params cfg in
   let base = base_cycles cfg in
+  let use_greedy = List.length cands > 22 in
+  if use_greedy then Engine.Telemetry.incr "curve.greedy_fallbacks";
   let select area_budget =
-    if List.length cands <= 22 then Select.branch_and_bound ~budget:area_budget cands
-    else Select.greedy ~budget:area_budget cands
+    if use_greedy then Select.greedy ~budget:area_budget cands
+    else Select.branch_and_bound ~budget:area_budget cands
   in
   let unconstrained = select max_int in
   let max_area = Select.area_of unconstrained in
   let points = ref [] in
-  for i = 1 to sweep_points do
-    let area_budget = max_area * i / sweep_points in
+  for i = 1 to params.sweep_points do
+    let area_budget = max_area * i / params.sweep_points in
     let sel = select area_budget in
     let cycles = base - int_of_float (Float.round (Select.gain_of sel)) in
     points := { Isa.Config.area = Select.area_of sel; cycles = max 1 cycles } :: !points
   done;
+  Engine.Telemetry.incr "curve.curves_generated";
   Isa.Config.of_points ~base_cycles:base !points
+
+let with_legacy ?(constraints = Isa.Hw_model.default_constraints)
+    ?(budget = Enumerate.default_budget) ?(hot_threshold = 0.01)
+    ?(sweep_points = 24) () =
+  { constraints; budget; hot_threshold; sweep_points }
+
+let candidates_legacy ?constraints ?budget ?hot_threshold cfg =
+  candidates ~params:(with_legacy ?constraints ?budget ?hot_threshold ()) cfg
+
+let generate_legacy ?constraints ?budget ?hot_threshold ?sweep_points cfg =
+  generate ~params:(with_legacy ?constraints ?budget ?hot_threshold ?sweep_points ()) cfg

@@ -4,28 +4,58 @@
     blocks at a sweep of area budgets and Pareto-filters the resulting
     (area, cycles) design points into the task's configuration curve
     (the staircase of Figure 3.1).  Chapter 3's selection algorithms
-    consume these curves exactly as the thesis consumed XPRES output. *)
+    consume these curves exactly as the thesis consumed XPRES output.
 
-val candidates :
+    Generation is deterministic for a given [params], which is why
+    [params_key] can serve as a persistent-cache key and why the
+    parallel engine reproduces the sequential results bit for bit. *)
+
+type params = {
+  constraints : Isa.Hw_model.constraints;  (** register-port I/O limits *)
+  budget : Enumerate.budget;  (** identification search budget *)
+  hot_threshold : float;
+  (** minimum fraction of profiled cycles for a block to be customized
+      (default 1 %) *)
+  sweep_points : int;  (** area budgets swept per curve (default 24) *)
+}
+
+val default : params
+(** Thesis settings: 4-in/2-out, {!Enumerate.default_budget}, 1 % hot
+    threshold, 24 sweep points. *)
+
+val small : params
+(** {!default} with {!Enumerate.small_budget} — the fast setting every
+    experiment driver uses. *)
+
+val params_key : params -> string
+(** Injective, human-readable rendering of [params], stable across runs
+    — the constraints component of the persistent cache key. *)
+
+val candidates : ?params:params -> Ir.Cfg.t -> Select.candidate list
+(** Candidate custom instructions of all hot basic blocks, with profiled
+    frequencies attached. *)
+
+val base_cycles : Ir.Cfg.t -> int
+(** Profiled software execution time of the task, in cycles. *)
+
+val generate : ?params:params -> Ir.Cfg.t -> Isa.Config.t
+(** The task's configuration curve ([params.sweep_points] area budgets,
+    each solved with branch-and-bound when the candidate set is small
+    enough and the greedy selector otherwise). *)
+
+val candidates_legacy :
   ?constraints:Isa.Hw_model.constraints ->
   ?budget:Enumerate.budget ->
   ?hot_threshold:float ->
   Ir.Cfg.t ->
   Select.candidate list
-(** Candidate custom instructions of all hot basic blocks (blocks
-    contributing at least [hot_threshold], default 1 %, of the task's
-    profiled cycles), with profiled frequencies attached. *)
+[@@ocaml.deprecated "Use candidates ~params (Ise.Curve.params)."]
 
-val base_cycles : Ir.Cfg.t -> int
-(** Profiled software execution time of the task, in cycles. *)
-
-val generate :
+val generate_legacy :
   ?constraints:Isa.Hw_model.constraints ->
   ?budget:Enumerate.budget ->
   ?hot_threshold:float ->
   ?sweep_points:int ->
   Ir.Cfg.t ->
   Isa.Config.t
-(** The task's configuration curve ([sweep_points] area budgets, default
-    24, each solved with branch-and-bound when small enough and the
-    greedy selector otherwise). *)
+[@@ocaml.deprecated "Use generate ~params (Ise.Curve.params)."]

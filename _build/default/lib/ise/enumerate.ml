@@ -70,6 +70,8 @@ let connected ?(constraints = Isa.Hw_model.default_constraints)
           push grown)
         (frontier dfg allowed set)
   done;
+  Engine.Telemetry.add "enumerate.explored" !explored;
+  Engine.Telemetry.add "enumerate.candidates" !emitted;
   List.rev !results
 
 let max_miso ?(constraints = Isa.Hw_model.default_constraints) dfg =

@@ -28,6 +28,7 @@ let by_ratio_desc a b =
   compare (ratio b) (ratio a)
 
 let greedy ~budget candidates =
+  Engine.Telemetry.incr "select.greedy_calls";
   let sorted = List.sort by_ratio_desc candidates in
   let rec take area chosen = function
     | [] -> List.rev chosen
@@ -83,6 +84,7 @@ let branch_and_bound ?(max_explored = 200_000) ~budget candidates =
     end
   in
   search 0 0 0. [];
+  Engine.Telemetry.add "select.bnb_nodes" !explored;
   List.rev !best_sel
 
 let knapsack ~budget candidates =

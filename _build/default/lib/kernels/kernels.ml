@@ -226,7 +226,9 @@ let all () =
       jpeg_enc (); jpeg_dec (); compress (); susan (); md5 (); edn ();
       fft (); viterbi (); sobel () ]
 
+let find_opt name = List.assoc_opt name (all ())
+
 let find name =
-  match List.assoc_opt name (all ()) with
+  match find_opt name with
   | Some cfg -> cfg
   | None -> raise Not_found

@@ -36,7 +36,7 @@ module Intra = struct
 
   let of_task ?eps cfg =
     let workload = Ise.Curve.base_cycles cfg in
-    let candidates = Ise.Curve.candidates ~budget:Ise.Enumerate.small_budget cfg in
+    let candidates = Ise.Curve.candidates ~params:Ise.Curve.small cfg in
     let front =
       match eps with
       | None -> exact ~workload candidates

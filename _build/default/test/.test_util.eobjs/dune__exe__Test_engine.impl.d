@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Filename Fun Isa Ise Kernels List Printf Unix

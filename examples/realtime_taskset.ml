@@ -16,7 +16,7 @@ let () =
     List.map
       (fun name ->
         let curve =
-          Ise.Curve.generate ~budget:Ise.Enumerate.small_budget (Kernels.find name)
+          Ise.Curve.generate ~params:Ise.Curve.small (Kernels.find name)
         in
         Rt.Task.make ~name ~period:1 curve)
       names

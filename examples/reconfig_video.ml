@@ -15,7 +15,7 @@ let () =
   let mk_loop name mix size iterations =
     let dfg = Kernels.Blockgen.block prng ~loads:4 ~stores:2 ~size mix in
     let cfg = { Ir.Cfg.name; code = Ir.Cfg.loop iterations (Ir.Cfg.block "body" dfg) } in
-    let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+    let curve = Ise.Curve.generate ~params:Ise.Curve.small cfg in
     let base = Isa.Config.base_cycles curve in
     let versions =
       Array.to_list (Isa.Config.points curve)

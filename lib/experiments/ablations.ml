@@ -114,7 +114,8 @@ let enumeration_budget fmt =
   List.iter
     (fun (label, budget) ->
       let curve, elapsed =
-        Report.timed (fun () -> Ise.Curve.generate ~budget cfg)
+        Report.timed_into fmt label (fun () ->
+            Ise.Curve.generate ~params:{ Ise.Curve.default with budget } cfg)
       in
       Report.row fmt
         [ Report.cell ~width:12 label;

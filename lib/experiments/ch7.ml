@@ -104,8 +104,16 @@ let table_7_2 fmt =
       let t = instance ~seed:(80 + n_tasks) ~n_tasks ~max_area:400
           ~reconfig_cost:2000 ~u:1.08
       in
-      let _, opt_t = Report.timed (fun () -> Rtreconfig.Solvers.optimal t) in
-      let _, dp_t = Report.timed (fun () -> Rtreconfig.Solvers.dp t) in
+      let _, opt_t =
+        Report.timed_into fmt
+          (Printf.sprintf "optimal %d tasks" n_tasks)
+          (fun () -> Rtreconfig.Solvers.optimal t)
+      in
+      let _, dp_t =
+        Report.timed_into fmt
+          (Printf.sprintf "dp %d tasks" n_tasks)
+          (fun () -> Rtreconfig.Solvers.dp t)
+      in
       Report.row fmt
         [ Report.cellr ~width:6 (string_of_int n_tasks);
           Report.cellr ~width:12 (Printf.sprintf "%.3f" opt_t);

@@ -37,5 +37,7 @@ val all : unit -> (string * Ir.Cfg.t) list
 (** Every kernel, keyed by its benchmark name (e.g. ["sha"],
     ["g721decode"], ["3des"]). *)
 
+val find_opt : string -> Ir.Cfg.t option
+
 val find : string -> Ir.Cfg.t
-(** Raises [Not_found] for unknown names. *)
+(** Raises [Not_found] for unknown names; prefer {!find_opt}. *)

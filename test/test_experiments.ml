@@ -9,7 +9,7 @@ let bool = Alcotest.bool
 let render (e : Experiments.Registry.experiment) =
   let buffer = Buffer.create 4096 in
   let fmt = Format.formatter_of_buffer buffer in
-  e.run fmt;
+  Experiments.Report.render fmt (e.run ());
   Format.pp_print_flush fmt ();
   Buffer.contents buffer
 

@@ -204,7 +204,7 @@ let prop_selection_no_conflicts =
 
 let test_curve_generation_lms () =
   let cfg = Kernels.find "lms" in
-  let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+  let curve = Ise.Curve.generate ~params:Ise.Curve.small cfg in
   check bool "more than the software point" true (Isa.Config.size curve > 1);
   check bool "improves cycles" true
     (Isa.Config.min_cycles curve < Isa.Config.base_cycles curve);
@@ -214,7 +214,7 @@ let test_curve_generation_lms () =
 let test_curve_speedup_in_published_range () =
   (* Chapter 3 reports 3.5%..27% per-task gains; allow a wide margin. *)
   let cfg = Kernels.find "g721decode" in
-  let curve = Ise.Curve.generate ~budget:Ise.Enumerate.small_budget cfg in
+  let curve = Ise.Curve.generate ~params:Ise.Curve.small cfg in
   let base = float_of_int (Isa.Config.base_cycles curve) in
   let best = float_of_int (Isa.Config.min_cycles curve) in
   let gain_pct = (base -. best) /. base *. 100. in
