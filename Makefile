@@ -1,0 +1,32 @@
+# Tier-1 verification is `make check`: build, format check (when
+# ocamlformat is available — the sealed container does not ship it),
+# and the full test suite.
+
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# `dune build @fmt` requires ocamlformat; skip with a notice when the
+# toolchain lacks it so `make check` stays runnable everywhere.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+check: build fmt test
+
+# The engine benchmark validates its own output: it exits non-zero if
+# BENCH_engine.json is missing any expected key.
+bench:
+	dune exec bench/main.exe -- engine
+
+clean:
+	dune clean

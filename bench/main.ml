@@ -21,6 +21,36 @@ let run_one (e : Experiments.Registry.experiment) =
   Format.pp_print_flush fmt ();
   flush stdout
 
+(* Downstream dashboards key on these fields; fail the bench loudly if
+   the file we just wrote lost one, rather than letting a rename surface
+   as a silent gap in the performance trajectory. *)
+let bench_keys =
+  [ "kernels"; "jobs"; "cold_sequential_s"; "cold_parallel_s"; "warm_cache_s";
+    "parallel_speedup"; "warm_speedup"; "cache_hits"; "cache_misses";
+    "curve_latency"; "p50_s"; "p90_s"; "p99_s"; "max_s"; "telemetry";
+    "histograms" ]
+
+let validate_bench_json path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let has key =
+    let needle = "\"" ^ key ^ "\"" in
+    let n = String.length content and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub content i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  match List.filter (fun k -> not (has k)) bench_keys with
+  | [] -> ()
+  | missing ->
+    Format.eprintf "engine bench: %s is missing expected key%s: %s@." path
+      (if List.length missing = 1 then "" else "s")
+      (String.concat ", " missing);
+    exit 2
+
 (* The engine benchmark: how long the shared task-set curves take to
    generate cold-sequential, cold-parallel and warm-from-disk.  Uses its
    own cache directory so it never pollutes (or is flattered by) the
@@ -37,6 +67,7 @@ let engine_bench () =
   Fun.protect ~finally:(fun () -> Engine.Cache.set_dir saved_dir) @@ fun () ->
   ignore (Engine.Cache.clear ());
   Engine.Telemetry.reset ();
+  Engine.Histogram.reset ();
   Format.fprintf fmt "@.=== engine: curve generation, %d kernels ===@."
     (List.length names);
   Curves.reset ();
@@ -60,6 +91,22 @@ let engine_bench () =
   Format.fprintf fmt "warm disk cache       %8.2f s  (%.0fx)@." warm
     (cold_seq /. Float.max 1e-9 warm);
   Format.fprintf fmt "cache hits/misses     %d/%d@." hits misses;
+  (* Per-curve latency distribution over both cold passes (the warm pass
+     generates nothing, so it contributes no samples). *)
+  let latency =
+    match Engine.Histogram.stats "curve.generate_s" with
+    | None ->
+      Format.eprintf "engine bench: no curve.generate_s samples recorded@.";
+      exit 2
+    | Some (s : Engine.Histogram.stats) ->
+      Format.fprintf fmt
+        "curve latency         p50 %.4f s, p90 %.4f s, p99 %.4f s, max %.4f s@."
+        s.p50 s.p90 s.p99 s.max;
+      Printf.sprintf
+        "{\"count\": %d, \"p50_s\": %.6f, \"p90_s\": %.6f, \"p99_s\": %.6f, \
+         \"max_s\": %.6f}"
+        s.count s.p50 s.p90 s.p99 s.max
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -72,17 +119,21 @@ let engine_bench () =
       \  \"warm_speedup\": %.3f,\n\
       \  \"cache_hits\": %d,\n\
       \  \"cache_misses\": %d,\n\
-      \  \"telemetry\": %s\n\
+      \  \"curve_latency\": %s,\n\
+      \  \"telemetry\": %s,\n\
+      \  \"histograms\": %s\n\
        }\n"
       (List.length names) jobs cold_seq cold_par warm
       (cold_seq /. Float.max 1e-9 cold_par)
       (cold_seq /. Float.max 1e-9 warm)
-      hits misses
+      hits misses latency
       (Engine.Telemetry.to_json ())
+      (Engine.Histogram.to_json ())
   in
   let oc = open_out "BENCH_engine.json" in
   output_string oc json;
   close_out oc;
+  validate_bench_json "BENCH_engine.json";
   Format.fprintf fmt "[engine timings written to BENCH_engine.json]@.";
   Format.pp_print_flush fmt ()
 

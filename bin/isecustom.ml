@@ -8,7 +8,15 @@
      iterate <kernels...>         Chapter 5 iterative customization
      pareto <kernel>              exact / approximate workload-area fronts
      experiment <id>              run one experiment from the registry
-     cache show|clear             inspect / empty the persistent curve cache *)
+     stats <id>                   run an experiment and print its span tree,
+                                  histogram percentiles and telemetry
+     cache show|clear             inspect / empty the persistent curve cache
+
+   Observability flags shared by the solver-running commands:
+     --trace FILE       Chrome trace_event JSON (about:tracing / Perfetto)
+     --log-level LEVEL  error | warn | info | debug   (default warn)
+     --log-json FILE    JSONL log sink in addition to stderr
+     --metrics-out FILE telemetry + histogram percentiles as JSON *)
 
 open Cmdliner
 
@@ -21,8 +29,73 @@ let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
 let stats_arg =
-  let doc = "Dump solver telemetry (counters and timers) after the run." in
+  let doc =
+    "Dump solver telemetry (counters, timers and histogram percentiles) \
+     after the run."
+  in
   Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Observability flags: parsed into a record by [obs_term]; [obs_finish]
+   writes the requested artifacts once the command's work is done. *)
+
+let trace_file_arg =
+  let doc =
+    "Record hierarchical spans and write them to $(docv) in Chrome \
+     trace_event JSON, viewable in about:tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let log_level_arg =
+  let doc = "Log verbosity: $(b,error), $(b,warn), $(b,info) or $(b,debug)." in
+  Arg.(value & opt string "warn" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_json_arg =
+  let doc = "Also append log records to $(docv), one JSON object per line." in
+  Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "After the run, write solver telemetry and histogram percentiles to \
+     $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+type obs = { trace_file : string option; metrics_file : string option }
+
+let obs_setup trace_file log_level log_json metrics_file =
+  (match Engine.Log.level_of_string log_level with
+   | Ok l -> Engine.Log.set_level l
+   | Error msg ->
+     Format.eprintf "%s@." msg;
+     exit 1);
+  Engine.Log.set_json_file log_json;
+  if trace_file <> None then Engine.Trace.set_enabled true;
+  { trace_file; metrics_file }
+
+let obs_term =
+  Term.(
+    const obs_setup $ trace_file_arg $ log_level_arg $ log_json_arg
+    $ metrics_out_arg)
+
+let metrics_json () =
+  Printf.sprintf "{\"telemetry\": %s, \"histograms\": %s}\n"
+    (Engine.Telemetry.to_json ())
+    (Engine.Histogram.to_json ())
+
+let obs_finish obs =
+  (match obs.trace_file with
+   | None -> ()
+   | Some file ->
+     Engine.Trace.write_chrome file;
+     Engine.Log.info "trace written to %s" file);
+  match obs.metrics_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (metrics_json ()));
+    Engine.Log.info "metrics written to %s" file
 
 let jobs_arg =
   let doc =
@@ -37,7 +110,9 @@ let apply_no_cache no_cache = if no_cache then Engine.Cache.set_enabled false
 let print_stats stats =
   if stats then begin
     Format.fprintf fmt "@.--- telemetry ---@.";
-    Engine.Telemetry.pp_table fmt ()
+    Engine.Telemetry.pp_table fmt ();
+    Format.fprintf fmt "@.--- histograms ---@.";
+    Engine.Histogram.pp_table fmt ()
   end
 
 (* ------------------------------------------------------------------ *)
@@ -73,7 +148,7 @@ let resolve name =
     exit 1
 
 let curve_cmd =
-  let run no_cache stats name =
+  let run obs no_cache stats name =
     apply_no_cache no_cache;
     ignore (resolve name);
     let curve = Experiments.Curves.curve name in
@@ -87,12 +162,13 @@ let curve_cmd =
           (base /. float_of_int p.cycles))
       (Isa.Config.points curve);
     print_stats stats;
+    obs_finish obs;
     Format.pp_print_flush fmt ()
   in
   Cmd.v
     (Cmd.info "curve"
        ~doc:"Generate a kernel's configuration curve (identification + selection).")
-    Term.(const run $ no_cache_arg $ stats_arg $ kernel_arg)
+    Term.(const run $ obs_term $ no_cache_arg $ stats_arg $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -110,7 +186,7 @@ let policy_arg =
        & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 
 let select_cmd =
-  let run u budget_fraction policy names =
+  let run obs u budget_fraction policy names =
     let tasks = Experiments.Curves.tasks_of ~u names in
     let max_area = Experiments.Curves.max_area_of tasks in
     let budget =
@@ -130,17 +206,20 @@ let select_cmd =
        (match Core.Rms_select.run ~budget tasks with
         | Some sel -> Format.fprintf fmt "%a@." Core.Selection.pp sel
         | None -> Format.fprintf fmt "not RMS-schedulable at this budget@."));
+    obs_finish obs;
     Format.pp_print_flush fmt ()
   in
   Cmd.v
     (Cmd.info "select"
        ~doc:"Optimal inter-task custom-instruction selection (Chapter 3).")
-    Term.(const run $ utilization_arg $ budget_arg $ policy_arg $ kernel_list_arg)
+    Term.(
+      const run $ obs_term $ utilization_arg $ budget_arg $ policy_arg
+      $ kernel_list_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let iterate_cmd =
-  let run u names =
+  let run obs u names =
     let inputs =
       Iterative.Driver.tasks_of_kernels ~u
         (List.map (fun n -> (n, resolve n)) names)
@@ -157,13 +236,14 @@ let iterate_cmd =
       (if result.Iterative.Driver.schedulable then "schedulable" else "infeasible")
       result.Iterative.Driver.instruction_count
       (Isa.Hw_model.adders_of_units result.Iterative.Driver.total_area);
+    obs_finish obs;
     Format.pp_print_flush fmt ()
   in
   Cmd.v
     (Cmd.info "iterate"
        ~doc:"Iterative top-down customization until the task set schedules \
              (Chapter 5).")
-    Term.(const run $ utilization_arg $ kernel_list_arg)
+    Term.(const run $ obs_term $ utilization_arg $ kernel_list_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -172,7 +252,7 @@ let eps_arg =
   Arg.(value & opt (some float) None & info [ "e"; "eps" ] ~docv:"EPS" ~doc)
 
 let pareto_cmd =
-  let run eps name =
+  let run obs eps name =
     ignore (resolve name);
     let workload, front = Pareto.Stages.Intra.of_task ?eps (resolve name) in
     Format.fprintf fmt "%s: workload %d cycles, %d front points%s@." name workload
@@ -186,13 +266,14 @@ let pareto_cmd =
           (Isa.Hw_model.adders_of_units p.cost)
           p.value)
       front;
+    obs_finish obs;
     Format.pp_print_flush fmt ()
   in
   Cmd.v
     (Cmd.info "pareto"
        ~doc:"Workload-area Pareto front of a kernel, exact or \
              epsilon-approximate (Chapter 4).")
-    Term.(const run $ eps_arg $ kernel_arg)
+    Term.(const run $ obs_term $ eps_arg $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -233,7 +314,7 @@ let experiment_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
   in
-  let run list jobs no_cache stats id =
+  let run obs list jobs no_cache stats id =
     apply_no_cache no_cache;
     if list then
       List.iter
@@ -254,7 +335,8 @@ let experiment_cmd =
              | None -> e.run ()
            in
            Experiments.Report.render fmt result;
-           print_stats stats
+           print_stats stats;
+           obs_finish obs
          | None ->
            Format.eprintf "unknown experiment %s@." id;
            exit 1);
@@ -262,7 +344,49 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one experiment from the evaluation registry.")
-    Term.(const run $ list_arg $ jobs_arg $ no_cache_arg $ stats_arg $ id_arg)
+    Term.(
+      const run $ obs_term $ list_arg $ jobs_arg $ no_cache_arg $ stats_arg
+      $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* `stats <id>` — the profiling view of `experiment <id>`: tracing is
+   forced on, and instead of the experiment's table the command reports
+   where the solver effort went (span tree, per-event distributions,
+   cumulative counters). *)
+let profile_cmd =
+  let id_arg =
+    let doc = "Experiment id (e.g. f3.3); see $(b,experiment --list)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run obs jobs no_cache id =
+    apply_no_cache no_cache;
+    match Experiments.Registry.find id with
+    | None ->
+      Format.eprintf "unknown experiment %s@." id;
+      exit 1
+    | Some e ->
+      Engine.Trace.set_enabled true;
+      let result =
+        match jobs with
+        | Some jobs -> Experiments.Registry.run_parallel ~jobs e
+        | None -> e.run ()
+      in
+      Format.fprintf fmt "=== %s: %s (%.1fs) ===@." e.id e.title result.elapsed;
+      Format.fprintf fmt "@.--- span tree ---@.";
+      Engine.Trace.pp_tree fmt ();
+      Format.fprintf fmt "@.--- histograms ---@.";
+      Engine.Histogram.pp_table fmt ();
+      Format.fprintf fmt "@.--- telemetry ---@.";
+      Engine.Telemetry.pp_table fmt ();
+      obs_finish obs;
+      Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run an experiment and print its span tree, histogram \
+             percentiles and telemetry counters.")
+    Term.(const run $ obs_term $ jobs_arg $ no_cache_arg $ id_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -306,4 +430,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
-            dot_cmd; experiment_cmd; cache_cmd ]))
+            dot_cmd; experiment_cmd; profile_cmd; cache_cmd ]))

@@ -11,6 +11,11 @@ let granularity ~budget tasks =
 
 let run ~budget tasks =
   if budget < 0 then invalid_arg "Edf_select.run: negative budget";
+  Engine.Trace.with_span "edf.select"
+    ~attrs:
+      [ ("tasks", string_of_int (List.length tasks));
+        ("budget", string_of_int budget) ]
+  @@ fun () ->
   Engine.Telemetry.time "edf.select" @@ fun () ->
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
@@ -19,6 +24,7 @@ let run ~budget tasks =
     let delta = granularity ~budget (Array.to_list tasks) in
     let cells = (budget / delta) + 1 in
     Engine.Telemetry.add "edf.dp_cells" (n * cells);
+    Engine.Histogram.observe "edf.dp_cells" (float_of_int (n * cells));
     (* u.(a) = best utilization of the processed prefix with area budget
        a·Δ; choice.(i).(a) = configuration index picked for task i. *)
     let u = Array.make cells 0. in

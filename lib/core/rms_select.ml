@@ -10,6 +10,11 @@ let sort_by_priority tasks =
 
 let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
   if budget < 0 then invalid_arg "Rms_select.run: negative budget";
+  Engine.Trace.with_span "rms.bnb"
+    ~attrs:
+      [ ("tasks", string_of_int (List.length tasks));
+        ("budget", string_of_int budget) ]
+  @@ fun () ->
   Engine.Telemetry.time "rms.select" @@ fun () ->
   let tasks = Array.of_list (sort_by_priority tasks) in
   let n = Array.length tasks in
@@ -69,6 +74,7 @@ let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
   in
   search 0 0 0.;
   Engine.Telemetry.add "rms.explored" !explored;
+  Engine.Histogram.observe "rms.bnb_nodes" (float_of_int !explored);
   Engine.Telemetry.add "rms.pruned_bound" !pruned_bound;
   Engine.Telemetry.add "rms.pruned_schedulability" !pruned_schedulability;
   Engine.Telemetry.add "rms.pruned_area" !pruned_area;

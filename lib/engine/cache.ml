@@ -41,8 +41,12 @@ let write_versioned ~version ~namespace ~key payload =
   Sys.rename tmp file
 
 let store_versioned ~version ~namespace ~key v =
-  if enabled () then
-    write_versioned ~version ~namespace ~key (Marshal.to_string v [])
+  if enabled () then begin
+    let payload = Marshal.to_string v [] in
+    write_versioned ~version ~namespace ~key payload;
+    Log.debug "cache: stored %s/%s (%d bytes)" namespace key
+      (String.length payload)
+  end
 
 let store ~namespace ~key v =
   store_versioned ~version:format_version ~namespace ~key v
@@ -74,6 +78,9 @@ let find ~namespace ~key () =
       | Some _ | None -> None
     in
     Telemetry.incr (if result = None then "cache.misses" else "cache.hits");
+    Log.debug "cache: %s %s/%s"
+      (if result = None then "miss" else "hit")
+      namespace key;
     result
   end
 

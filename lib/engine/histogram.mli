@@ -1,0 +1,52 @@
+(** Named fixed-bucket log-scale histograms for per-event measurements —
+    per-task curve-generation latency, per-block enumeration sizes, B&B
+    nodes per solve — complementing {!Telemetry}'s cumulative counters
+    with distributional shape (p50/p90/p99/max).
+
+    Buckets are geometric with ratio [2^(1/8)] (~9% wide), spanning
+    [2^-30, 2^30); values outside clamp into the end buckets.  Quantile
+    estimates are therefore exact in rank and within ~5% in value, and
+    are additionally clamped to the observed [min, max].  All operations
+    are mutex-protected and domain-safe, like the rest of the engine's
+    observability layer.  Names are dotted paths sharing {!Telemetry}'s
+    convention, e.g. ["curve.generate_s"], ["select.bnb_nodes"]. *)
+
+type stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val observe : string -> float -> unit
+(** Record one sample.  Non-finite samples are dropped (and counted
+    under the ["histogram.dropped"] telemetry counter). *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run a thunk, recording its wall-clock seconds as one sample (also
+    on exception) — the per-event counterpart of {!Telemetry.time}. *)
+
+val stats : string -> stats option
+(** Summary of a histogram; [None] if it has no samples. *)
+
+val quantile : string -> float -> float option
+(** [quantile name q] for [q] in [\[0, 1\]]; [None] if empty. *)
+
+val all : unit -> (string * stats) list
+(** Every non-empty histogram, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop all histograms.  Like {!Telemetry.reset}, callers must ensure
+    no worker is concurrently observing (quiescence), or samples from
+    the two epochs will mix. *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable table: count, p50, p90, p99, max per histogram. *)
+
+val to_json : unit -> string
+(** [{"name": {"count": ..., "sum": ..., "min": ..., "max": ...,
+    "p50": ..., "p90": ..., "p99": ...}, ...}] — always valid JSON,
+    also for empty registries and names containing quotes. *)

@@ -1,0 +1,42 @@
+(** Leveled logging for the solver pipeline, replacing ad-hoc
+    [Format.eprintf] output.
+
+    Two sinks, each independently optional:
+    - a human-readable formatter sink (default [Format.err_formatter]),
+      one [\[HH:MM:SS level\] message] line per record;
+    - a JSONL file sink ({!set_json_file}), one
+      [{"ts": seconds-since-epoch, "level": ..., "msg": ...}] object
+      per line, for machine consumption.
+
+    Records below the current level ({!set_level}, default {!Warn}) are
+    dropped before formatting, so a disabled [debug] costs one branch.
+    All emission is mutex-protected and therefore domain-safe: lines
+    from concurrent {!Parallel} workers never interleave mid-record. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val level_of_string : string -> (level, string) result
+(** Case-insensitive ["error" | "warn" | "info" | "debug"]. *)
+
+val string_of_level : level -> string
+
+val would_log : level -> bool
+(** [true] iff a record at this level would reach the sinks. *)
+
+val set_formatter : Format.formatter -> unit
+(** Redirect the human-readable sink (tests use a buffer formatter). *)
+
+val set_json_file : string option -> unit
+(** Open (append) the JSONL sink at the given path, or close it with
+    [None].  Replacing the sink closes the previous channel. *)
+
+val err : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val msg : level -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** The general form behind the four wrappers. *)

@@ -16,6 +16,10 @@ let map ?jobs f xs =
     let output = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
+    (* Spans recorded by workers hang off the span enclosing this map
+       call, and each worker merges its trace buffer before its domain
+       terminates — after join the caller sees one connected tree. *)
+    let span_parent = Trace.current () in
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n && Atomic.get failure = None then begin
@@ -26,6 +30,10 @@ let map ?jobs f xs =
            ignore (Atomic.compare_and_set failure None (Some e)));
         worker ()
       end
+    in
+    let worker () =
+      Trace.adopt span_parent worker;
+      Trace.flush_local ()
     in
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();

@@ -15,7 +15,12 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     {!default_jobs}; it is clamped to the list length).  If any [f]
     raises, the first exception is re-raised in the caller after all
     workers have drained.  [f] must be safe to run concurrently with
-    itself (the whole pipeline below [Ise.Curve] is pure). *)
+    itself (the whole pipeline below [Ise.Curve] is pure).
+
+    Observability: workers report into {!Telemetry} and {!Histogram}
+    directly (both are domain-safe); {!Trace} spans opened inside [f]
+    are parented to the span enclosing the [map] call and merged into
+    the global trace before [map] returns. *)
 
 val map_reduce :
   ?jobs:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> 'c -> 'a list -> 'c

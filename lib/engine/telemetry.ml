@@ -56,23 +56,10 @@ let pp_table fmt () =
     List.iter (fun (k, v) -> Format.fprintf fmt "%-32s %12.3f s@." k v) ts
   end
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let to_json () =
-  let field (k, v) = Printf.sprintf "\"%s\": %s" (json_escape k) v in
-  let cs = List.map (fun (k, v) -> field (k, string_of_int v)) (counters ()) in
-  let ts = List.map (fun (k, v) -> field (k, Printf.sprintf "%.6f" v)) (timers ()) in
-  Printf.sprintf "{\"counters\": {%s}, \"timers\": {%s}}"
-    (String.concat ", " cs) (String.concat ", " ts)
+  (* Jsonx escapes the names and maps non-finite timer sums to null, so
+     the output is valid JSON whatever was reported — including nothing
+     at all. *)
+  let cs = List.map (fun (k, v) -> (k, string_of_int v)) (counters ()) in
+  let ts = List.map (fun (k, v) -> (k, Jsonx.float v)) (timers ()) in
+  Jsonx.obj [ ("counters", Jsonx.obj cs); ("timers", Jsonx.obj ts) ]

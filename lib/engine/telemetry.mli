@@ -33,10 +33,19 @@ val timers : unit -> (string * float) list
 (** All timers, sorted by name. *)
 
 val reset : unit -> unit
-(** Zero everything (counters and timers). *)
+(** Zero everything (counters and timers).  Both tables are cleared
+    under the same mutex as every report, so a reset is atomic: no
+    reader ever sees one table cleared and the other not.  It is {b not}
+    an epoch barrier, though — a {!Parallel} worker that reports after
+    the reset lands in the new epoch while its earlier reports are gone,
+    mixing epochs in the totals.  Callers that need clean numbers must
+    quiesce first: reset only while no worker is running, as the CLI and
+    bench harness do (reset before spawning, read after join). *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable two-column dump. *)
 
 val to_json : unit -> string
-(** [{"counters": {...}, "timers": {...}}]. *)
+(** [{"counters": {...}, "timers": {...}}].  Always valid JSON: empty
+    tables serialise to [{}], names are escaped (quotes included), and
+    a non-finite timer sum becomes [null]. *)

@@ -23,11 +23,15 @@ let cached table ~namespace ~generate name =
     Engine.Telemetry.incr "curves.memo_hits";
     v
   | None ->
+    Engine.Trace.with_span "curves.lookup"
+      ~attrs:[ ("kernel", name); ("namespace", namespace) ]
+    @@ fun () ->
     let key = key_of name in
     let v =
       match Engine.Cache.find ~namespace ~key () with
       | Some v -> v
       | None ->
+        Engine.Log.info "curves: generating %s for %s" namespace name;
         let v = generate (Kernels.find name) in
         Engine.Cache.store ~namespace ~key v;
         v
@@ -44,6 +48,9 @@ let candidates name =
     ~generate:(Ise.Curve.candidates ~params) name
 
 let warm ?jobs names =
+  Engine.Trace.with_span "curves.warm"
+    ~attrs:[ ("kernels", string_of_int (List.length names)) ]
+  @@ fun () ->
   let missing =
     List.sort_uniq compare names
     |> List.filter (fun n -> not (Hashtbl.mem curve_table n))
@@ -60,6 +67,12 @@ let warm ?jobs names =
         | None -> true)
       missing
   in
+  if to_generate <> [] then
+    Engine.Log.info "curves: warming %d kernel%s%s" (List.length to_generate)
+      (if List.length to_generate = 1 then "" else "s")
+      (match jobs with
+       | Some j when j > 1 -> Printf.sprintf " on %d domains" j
+       | _ -> "");
   Engine.Parallel.map ?jobs
     (fun name -> (name, Ise.Curve.generate ~params (Kernels.find name)))
     to_generate

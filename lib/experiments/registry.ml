@@ -4,7 +4,13 @@ type experiment = {
   run : unit -> Report.result;
 }
 
-let exp id title driver = { id; title; run = (fun () -> Report.collect driver) }
+let exp id title driver =
+  { id;
+    title;
+    run =
+      (fun () ->
+        Engine.Trace.with_span ("experiment." ^ id) ~attrs:[ ("title", title) ]
+          (fun () -> Report.collect driver)) }
 
 let all =
   [ exp "t3.1" "Table 3.1: composition of task sets" Ch3.table_3_1;

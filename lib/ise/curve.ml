@@ -29,6 +29,7 @@ let base_cycles cfg =
   int_of_float (Float.round (profile_cycles (Ir.Cfg.profile cfg)))
 
 let candidates ?(params = default) cfg =
+  Engine.Trace.with_span "curve.candidates" @@ fun () ->
   Engine.Telemetry.time "curve.candidates" @@ fun () ->
   let profile = Ir.Cfg.profile cfg in
   let total = profile_cycles profile in
@@ -46,7 +47,11 @@ let candidates ?(params = default) cfg =
        hot)
 
 let generate ?(params = default) cfg =
+  Engine.Trace.with_span "curve.generate"
+    ~attrs:[ ("sweep_points", string_of_int params.sweep_points) ]
+  @@ fun () ->
   Engine.Telemetry.time "curve.generate" @@ fun () ->
+  Engine.Histogram.time "curve.generate_s" @@ fun () ->
   let cands = candidates ~params cfg in
   let base = base_cycles cfg in
   let use_greedy = List.length cands > 22 in

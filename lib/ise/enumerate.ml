@@ -29,6 +29,9 @@ let frontier dfg allowed set =
 let connected ?(constraints = Isa.Hw_model.default_constraints)
     ?(budget = default_budget) ?allowed dfg =
   let n = Ir.Dfg.node_count dfg in
+  Engine.Trace.with_span "enumerate.connected"
+    ~attrs:[ ("nodes", string_of_int n) ]
+  @@ fun () ->
   let allowed =
     match allowed with
     | Some a -> a
@@ -72,10 +75,15 @@ let connected ?(constraints = Isa.Hw_model.default_constraints)
   done;
   Engine.Telemetry.add "enumerate.explored" !explored;
   Engine.Telemetry.add "enumerate.candidates" !emitted;
+  Engine.Histogram.observe "enumerate.candidates_per_block"
+    (float_of_int !emitted);
   List.rev !results
 
 let max_miso ?(constraints = Isa.Hw_model.default_constraints) dfg =
   let n = Ir.Dfg.node_count dfg in
+  Engine.Trace.with_span "enumerate.max_miso"
+    ~attrs:[ ("nodes", string_of_int n) ]
+  @@ fun () ->
   let patterns = ref [] in
   let seen = Hashtbl.create 64 in
   for sink = 0 to n - 1 do

@@ -28,6 +28,9 @@ let by_ratio_desc a b =
   compare (ratio b) (ratio a)
 
 let greedy ~budget candidates =
+  Engine.Trace.with_span "select.greedy"
+    ~attrs:[ ("candidates", string_of_int (List.length candidates)) ]
+  @@ fun () ->
   Engine.Telemetry.incr "select.greedy_calls";
   let sorted = List.sort by_ratio_desc candidates in
   let rec take area chosen = function
@@ -44,6 +47,8 @@ let greedy ~budget candidates =
 let branch_and_bound ?(max_explored = 200_000) ~budget candidates =
   let cands = Array.of_list (List.sort by_ratio_desc candidates) in
   let n = Array.length cands in
+  Engine.Trace.with_span "select.bnb" ~attrs:[ ("candidates", string_of_int n) ]
+  @@ fun () ->
   let best_gain = ref 0. and best_sel = ref [] in
   let explored = ref 0 in
   (* Optimistic bound: fractional knapsack over remaining candidates,
@@ -85,9 +90,13 @@ let branch_and_bound ?(max_explored = 200_000) ~budget candidates =
   in
   search 0 0 0. [];
   Engine.Telemetry.add "select.bnb_nodes" !explored;
+  Engine.Histogram.observe "select.bnb_nodes" (float_of_int !explored);
   List.rev !best_sel
 
 let knapsack ~budget candidates =
+  Engine.Trace.with_span "select.knapsack"
+    ~attrs:[ ("candidates", string_of_int (List.length candidates)) ]
+  @@ fun () ->
   let rec pairwise = function
     | [] -> ()
     | c :: rest ->
