@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench fuzz clean
 
 all: build
 
@@ -27,6 +27,14 @@ check: build fmt test
 # BENCH_engine.json is missing any expected key.
 bench:
 	dune exec bench/main.exe -- engine
+
+# Property-based differential fuzzing (lib/check): every solver vs its
+# brute-force oracle on SEED-replayable random instances, BUDGET cases
+# per property.  Failures shrink to repro-*.json (git-ignored).
+SEED ?= 42
+BUDGET ?= 1000
+fuzz:
+	dune exec bin/isecustom.exe -- check --seed $(SEED) --budget $(BUDGET)
 
 clean:
 	dune clean

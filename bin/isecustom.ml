@@ -11,6 +11,8 @@
      stats <id>                   run an experiment and print its span tree,
                                   histogram percentiles and telemetry
      cache show|clear             inspect / empty the persistent curve cache
+     check [replay F | selftest]  property-based differential testing of the
+                                  solver stack against brute-force oracles
 
    Observability flags shared by the solver-running commands:
      --trace FILE       Chrome trace_event JSON (about:tracing / Perfetto)
@@ -421,6 +423,86 @@ let cache_cmd =
              overridable with ISECUSTOM_CACHE_DIR).")
     Term.(const run $ action_arg)
 
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let seed_arg =
+    let doc = "Seed for the deterministic generators; equal seeds replay \
+               identical instances." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let check_budget_arg =
+    let doc = "Random cases to run per property." in
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let suite_arg =
+    let doc =
+      "Restrict to one suite (repeatable): select, sched, pareto, curve or \
+       engine."
+    in
+    Arg.(value & opt_all string [] & info [ "suite" ] ~docv:"SUITE" ~doc)
+  in
+  let repro_dir_arg =
+    let doc = "Directory failure repro files are written to." in
+    Arg.(value & opt string "." & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+  in
+  let action_arg =
+    let doc =
+      "Optional action: $(b,replay) $(i,FILE) re-runs a recorded \
+       counterexample; $(b,selftest) injects an off-by-one solver bug and \
+       verifies the harness catches, shrinks and persists it."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"ACTION" ~doc)
+  in
+  let run obs seed budget suites repro_dir action =
+    let unknown =
+      List.filter (fun s -> not (List.mem s Check.Prop.suites)) suites
+    in
+    if unknown <> [] then begin
+      Format.eprintf "unknown suite%s %s; available: %s@."
+        (if List.length unknown = 1 then "" else "s")
+        (String.concat ", " unknown)
+        (String.concat ", " Check.Prop.suites);
+      exit 1
+    end;
+    let config = { Check.Runner.seed; budget; suites; repro_dir } in
+    let status =
+      match action with
+      | [] ->
+        let summary = Check.Runner.run ~fmt config in
+        if Check.Runner.ok summary then 0 else 1
+      | [ "replay"; file ] ->
+        (match Check.Runner.replay ~fmt file with
+         | Ok true -> 0
+         | Ok false -> 1
+         | Error msg ->
+           Format.eprintf "%s@." msg;
+           2)
+      | [ "selftest" ] ->
+        (match Check.Runner.selftest ~fmt ~seed ~repro_dir () with
+         | Ok msg ->
+           Format.fprintf fmt "self-test ok: %s@." msg;
+           0
+         | Error msg ->
+           Format.eprintf "self-test FAILED: %s@." msg;
+           1)
+      | _ ->
+        Format.eprintf
+          "usage: isecustom check [OPTS] [replay FILE | selftest]@.";
+        exit 2
+    in
+    obs_finish obs;
+    Format.pp_print_flush fmt ();
+    exit status
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Property-based differential testing: random workloads, \
+             brute-force oracles, greedy shrinking, replayable repro files.")
+    Term.(
+      const run $ obs_term $ seed_arg $ check_budget_arg $ suite_arg
+      $ repro_dir_arg $ action_arg)
+
 let () =
   let info =
     Cmd.info "isecustom" ~version:"1.0.0"
@@ -430,4 +512,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
-            dot_cmd; experiment_cmd; profile_cmd; cache_cmd ]))
+            dot_cmd; experiment_cmd; profile_cmd; cache_cmd; check_cmd ]))

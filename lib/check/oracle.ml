@@ -1,0 +1,88 @@
+let combination_count tasks =
+  List.fold_left
+    (fun acc (t : Rt.Task.t) ->
+      let n = Isa.Config.size t.curve in
+      if acc > max_int / max n 1 then max_int else acc * n)
+    1 tasks
+
+let selections ~budget tasks =
+  let rec explore acc = function
+    | [] ->
+      let sel = Core.Selection.of_assignment (List.rev acc) in
+      if sel.Core.Selection.area <= budget then [ sel ] else []
+    | (task : Rt.Task.t) :: rest ->
+      Array.fold_left
+        (fun sels p -> sels @ explore ((task, p) :: acc) rest)
+        []
+        (Isa.Config.points task.curve)
+  in
+  explore [] tasks
+
+let better (a : Core.Selection.t) (b : Core.Selection.t) =
+  a.utilization < b.utilization -. 1e-12
+  || (Float.abs (a.utilization -. b.utilization) <= 1e-12 && a.area < b.area)
+
+let edf_best ~budget tasks =
+  List.fold_left
+    (fun best sel -> if better sel best then sel else best)
+    (Core.Selection.software tasks)
+    (selections ~budget tasks)
+
+let response_time_schedulable pairs =
+  let by_priority =
+    List.stable_sort (fun (_, p1) (_, p2) -> compare p1 p2) pairs
+    |> Array.of_list
+  in
+  let n = Array.length by_priority in
+  let rec fits i =
+    if i = n then true
+    else begin
+      let ci, pi = by_priority.(i) in
+      (* least fixpoint of R = Cᵢ + Σ_{j<i} ⌈R/Pⱼ⌉ Cⱼ, abandoned past
+         the deadline Pᵢ *)
+      let rec iterate r =
+        let demand = ref ci in
+        for j = 0 to i - 1 do
+          let cj, pj = by_priority.(j) in
+          demand := !demand + (Util.Numeric.ceil_div r pj * cj)
+        done;
+        if !demand = r then r <= pi
+        else if !demand > pi then false
+        else iterate !demand
+      in
+      (ci = 0 || iterate ci) && fits (i + 1)
+    end
+  in
+  fits 0
+
+let rms_best ~budget tasks =
+  List.fold_left
+    (fun best sel ->
+      let pairs =
+        List.map
+          (fun ((t : Rt.Task.t), (p : Isa.Config.point)) -> (p.cycles, t.period))
+          sel.Core.Selection.assignment
+      in
+      if not (response_time_schedulable pairs) then best
+      else
+        match best with
+        | None -> Some sel
+        | Some b -> if better sel b then Some sel else best)
+    None
+    (selections ~budget tasks)
+
+let pareto_exhaustive ~base entities =
+  let with_zero (e : Pareto.Mo_select.entity) =
+    if Array.exists (fun (o : Pareto.Mo_select.option_) -> o.cost = 0 && o.delta = 0.) e
+    then e
+    else Array.append [| { Pareto.Mo_select.delta = 0.; cost = 0 } |] e
+  in
+  let rec explore cost delta = function
+    | [] -> [ { Util.Pareto_front.cost; value = base -. delta } ]
+    | e :: rest ->
+      Array.fold_left
+        (fun acc (o : Pareto.Mo_select.option_) ->
+          acc @ explore (cost + o.cost) (delta +. o.delta) rest)
+        [] (with_zero e)
+  in
+  Util.Pareto_front.front (explore 0 0. entities)

@@ -1,0 +1,39 @@
+(** Brute-force reference oracles for small instances.
+
+    Every oracle is an independent re-implementation — exhaustive
+    enumeration instead of dynamic programming, response-time analysis
+    instead of the Bini–Buttazzo point test, cross-product Pareto
+    enumeration instead of the DP front — so that a bug shared with the
+    production solver cannot mask itself.  All are exponential (or
+    pseudo-polynomial with no cleverness) and must only be fed the small
+    instances {!Gen} produces; {!combination_count} lets properties skip
+    pathological cases. *)
+
+val combination_count : Rt.Task.t list -> int
+(** Π curve sizes — the number of assignments the selection oracles
+    enumerate (saturates at [max_int] on overflow). *)
+
+val selections : budget:int -> Rt.Task.t list -> Core.Selection.t list
+(** Every full assignment within the area budget, in enumeration
+    order. *)
+
+val edf_best : budget:int -> Rt.Task.t list -> Core.Selection.t
+(** Minimum-utilization in-budget assignment (ties broken towards
+    smaller area); the software assignment when nothing else fits. *)
+
+val rms_best : budget:int -> Rt.Task.t list -> Core.Selection.t option
+(** Minimum-utilization in-budget assignment that passes
+    {!response_time_schedulable}; [None] when no assignment does. *)
+
+val response_time_schedulable : (int * int) list -> bool
+(** Exact RMS test by response-time analysis: [(cycles, period)] pairs,
+    sorted here by increasing period; task [i]'s response time is the
+    least fixpoint of [R = Cᵢ + Σ_{j<i} ⌈R/Pⱼ⌉·Cⱼ], schedulable iff
+    every fixpoint is ≤ the period.  Independent of
+    {!Rt.Sched.rms_schedulable}'s Bini–Buttazzo recurrence. *)
+
+val pareto_exhaustive :
+  base:float -> Pareto.Mo_select.entity list -> Util.Pareto_front.point list
+(** Exact cost/value Pareto front by enumerating the full cross product
+    of entity options (a zero option is added per entity, mirroring
+    {!Pareto.Mo_select}'s convention) and filtering dominated points. *)

@@ -1,0 +1,483 @@
+type outcome = Pass | Fail of string | Skip of string
+
+type t = {
+  name : string;
+  suite : string;
+  run : Instance.t -> outcome;
+}
+
+let tol = 1e-9
+
+(* Oracles enumerate the full assignment cross product; anything the
+   generator emits is far below this, but shrink intermediates and
+   replayed hand-edited repros go through the same guard. *)
+let combo_cap = 20_000
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let pairs_of (sel : Core.Selection.t) =
+  List.map
+    (fun ((t : Rt.Task.t), (p : Isa.Config.point)) -> (p.cycles, t.period))
+    sel.assignment
+
+let distinct_periods tasks =
+  let periods = List.map (fun (t : Rt.Task.t) -> t.period) tasks in
+  List.length periods = List.length (List.sort_uniq compare periods)
+
+let with_tasks inst k =
+  let tasks = Instance.tasks inst in
+  if Oracle.combination_count tasks > combo_cap then
+    Skip "assignment space too large for the oracle"
+  else k tasks
+
+(* ---------------------------------------------------------------- *)
+(* select                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let edf_against ~name solver =
+  { name;
+    suite = "select";
+    run =
+      (fun inst ->
+        with_tasks inst @@ fun tasks ->
+        let got = solver ~budget:inst.budget tasks in
+        let want = Oracle.edf_best ~budget:inst.budget tasks in
+        if got.Core.Selection.area > inst.budget then
+          failf "selection area %d exceeds budget %d" got.Core.Selection.area
+            inst.budget
+        else if
+          Float.abs (got.Core.Selection.utilization -. want.Core.Selection.utilization)
+          > tol
+        then
+          failf "utilization %.9f, oracle %.9f at budget %d"
+            got.Core.Selection.utilization want.Core.Selection.utilization
+            inst.budget
+        else Pass) }
+
+let edf_dp_matches_oracle =
+  edf_against ~name:"edf_dp_matches_oracle" Core.Edf_select.run
+
+let rms_bnb_matches_oracle =
+  { name = "rms_bnb_matches_oracle";
+    suite = "select";
+    run =
+      (fun inst ->
+        with_tasks inst @@ fun tasks ->
+        if not (distinct_periods tasks) then Skip "duplicate periods"
+        else
+          match
+            (Core.Rms_select.run ~budget:inst.budget tasks,
+             Oracle.rms_best ~budget:inst.budget tasks)
+          with
+          | None, None -> Pass
+          | Some got, Some want ->
+            if got.Core.Selection.area > inst.budget then
+              failf "selection area %d exceeds budget %d"
+                got.Core.Selection.area inst.budget
+            else if
+              Float.abs
+                (got.Core.Selection.utilization -. want.Core.Selection.utilization)
+              > tol
+            then
+              failf "utilization %.9f, oracle %.9f at budget %d"
+                got.Core.Selection.utilization want.Core.Selection.utilization
+                inst.budget
+            else Pass
+          | Some got, None ->
+            failf "B&B claims schedulable (U=%.9f), oracle finds none"
+              got.Core.Selection.utilization
+          | None, Some want ->
+            failf "B&B claims infeasible, oracle schedules at U=%.9f"
+              want.Core.Selection.utilization) }
+
+let heuristics_bounded_by_optimal =
+  { name = "heuristics_bounded_by_optimal";
+    suite = "select";
+    run =
+      (fun inst ->
+        with_tasks inst @@ fun tasks ->
+        let opt = Oracle.edf_best ~budget:inst.budget tasks in
+        let rec check = function
+          | [] -> Pass
+          | strategy :: rest ->
+            let h = Core.Heuristics.run strategy ~budget:inst.budget tasks in
+            if h.Core.Selection.area > inst.budget then
+              failf "%s spends %d over budget %d"
+                (Core.Heuristics.name strategy)
+                h.Core.Selection.area inst.budget
+            else if
+              opt.Core.Selection.utilization
+              > h.Core.Selection.utilization +. tol
+            then
+              failf "%s beats the optimum: %.9f < %.9f"
+                (Core.Heuristics.name strategy)
+                h.Core.Selection.utilization opt.Core.Selection.utilization
+            else check rest
+        in
+        check Core.Heuristics.all) }
+
+let edf_budget_monotone =
+  { name = "edf_budget_monotone";
+    suite = "select";
+    run =
+      (fun inst ->
+        let tasks = Instance.tasks inst in
+        let u b = (Core.Edf_select.run ~budget:b tasks).Core.Selection.utilization in
+        let budgets =
+          [ 0; inst.budget; inst.budget + 1; (2 * inst.budget) + 1 ]
+        in
+        let us = List.map u budgets in
+        let rec non_increasing = function
+          | a :: (b :: _ as rest) ->
+            if a < b -. tol then
+              failf "more area raised utilization: %.9f then %.9f" a b
+            else non_increasing rest
+          | _ -> Pass
+        in
+        non_increasing us) }
+
+let rms_pruning_invariant =
+  { name = "rms_pruning_invariant";
+    suite = "select";
+    run =
+      (fun inst ->
+        let tasks = Instance.tasks inst in
+        if not (distinct_periods tasks) then Skip "duplicate periods"
+        else begin
+          let outcomes =
+            List.map
+              (fun (use_bound, fastest_first) ->
+                fst
+                  (Core.Rms_select.run_instrumented ~use_bound ~fastest_first
+                     ~budget:inst.budget tasks))
+              [ (true, true); (true, false); (false, true); (false, false) ]
+          in
+          match outcomes with
+          | reference :: rest ->
+            let same = function
+              | None, None -> true
+              | Some (a : Core.Selection.t), Some (b : Core.Selection.t) ->
+                Float.abs (a.utilization -. b.utilization) <= tol
+              | _ -> false
+            in
+            if List.for_all (fun o -> same (reference, o)) rest then Pass
+            else Fail "disabling pruning changed the optimum"
+          | [] -> Pass
+        end) }
+
+(* ---------------------------------------------------------------- *)
+(* sched                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let rms_test_matches_response_time =
+  { name = "rms_test_matches_response_time";
+    suite = "sched";
+    run =
+      (fun inst ->
+        let tasks = Instance.tasks inst in
+        if not (distinct_periods tasks) then Skip "duplicate periods"
+        else begin
+          let software = pairs_of (Core.Selection.software tasks) in
+          let full_custom =
+            List.map
+              (fun (t : Rt.Task.t) ->
+                (Isa.Config.min_cycles t.curve, t.period))
+              tasks
+          in
+          let rec check = function
+            | [] -> Pass
+            | (label, pairs) :: rest ->
+              let exact = Rt.Sched.rms_schedulable pairs in
+              let rta = Oracle.response_time_schedulable pairs in
+              if exact <> rta then
+                failf "%s: Bini–Buttazzo says %b, response-time analysis %b"
+                  label exact rta
+              else check rest
+          in
+          check [ ("software", software); ("full-custom", full_custom) ]
+        end) }
+
+(* ---------------------------------------------------------------- *)
+(* pareto                                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* One entity per task: choose a configuration, delta = cycles saved,
+   cost = area — the inter-task workload view of Chapter 4. *)
+let entities_of inst =
+  List.map
+    (fun (ts : Instance.task_spec) ->
+      List.map
+        (fun (p : Instance.curve_point) ->
+          { Pareto.Mo_select.delta = float_of_int (ts.base - p.cycles);
+            cost = p.area })
+        ts.points
+      |> Array.of_list)
+    inst.Instance.tasks
+
+let base_of inst =
+  Util.Numeric.sum_byf
+    (fun (ts : Instance.task_spec) -> float_of_int ts.base)
+    inst.Instance.tasks
+
+let fronts_agree exact oracle =
+  List.length exact = List.length oracle
+  && List.for_all2
+       (fun (a : Util.Pareto_front.point) (b : Util.Pareto_front.point) ->
+         a.cost = b.cost && Float.abs (a.value -. b.value) <= 1e-6)
+       exact oracle
+
+let exact_front_matches_oracle =
+  { name = "exact_front_matches_oracle";
+    suite = "pareto";
+    run =
+      (fun inst ->
+        let entities = entities_of inst in
+        let base = base_of inst in
+        let exact = Pareto.Mo_select.exact_front ~base entities in
+        let oracle = Oracle.pareto_exhaustive ~base entities in
+        if fronts_agree exact oracle then Pass
+        else
+          failf "DP front has %d points, enumeration %d (or values differ)"
+            (List.length exact) (List.length oracle)) }
+
+let approx_front_eps_covers =
+  { name = "approx_front_eps_covers";
+    suite = "pareto";
+    run =
+      (fun inst ->
+        let entities = entities_of inst in
+        let base = base_of inst in
+        let exact = Pareto.Mo_select.exact_front ~base entities in
+        let approx = Pareto.Mo_select.approx_front ~eps:inst.eps ~base entities in
+        if not (Util.Pareto_front.is_front approx) then
+          Fail "approximate output is not a valid Pareto front"
+        else if not (Util.Pareto_front.eps_covers ~eps:inst.eps ~exact approx)
+        then
+          failf "FPTAS output misses the eps=%.3f cover (%d exact, %d approx)"
+            inst.eps (List.length exact) (List.length approx)
+        else Pass) }
+
+let inter_stage_approx_covers =
+  { name = "inter_stage_approx_covers";
+    suite = "pareto";
+    run =
+      (fun inst ->
+        let curves =
+          List.map
+            (fun (t : Rt.Task.t) ->
+              { Pareto.Stages.Inter.period = t.period;
+                workload = t.wcet;
+                front =
+                  Array.to_list (Isa.Config.points t.curve)
+                  |> List.map (fun (p : Isa.Config.point) ->
+                         { Util.Pareto_front.cost = p.area;
+                           value = float_of_int p.cycles }) })
+            (Instance.tasks inst)
+        in
+        let exact = Pareto.Stages.Inter.exact curves in
+        let approx = Pareto.Stages.Inter.approx ~eps:inst.eps curves in
+        if Util.Pareto_front.eps_covers ~eps:inst.eps ~exact approx then Pass
+        else
+          failf "inter-stage FPTAS misses the eps=%.3f cover (%d exact, %d approx)"
+            inst.eps (List.length exact) (List.length approx)) }
+
+(* ---------------------------------------------------------------- *)
+(* curve                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let fuzz_params = { Ise.Curve.small with sweep_points = 8 }
+
+let generated_curve_well_formed =
+  { name = "generated_curve_well_formed";
+    suite = "curve";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let cfg =
+          { Ir.Cfg.name = "fuzz"; code = Ir.Cfg.block "b0" dfg }
+        in
+        match Ise.Curve.generate ~params:fuzz_params cfg with
+        | exception e ->
+          failf "curve generation raised %s" (Printexc.to_string e)
+        | curve ->
+          let pts = Isa.Config.points curve in
+          let ok = ref Pass in
+          if pts.(0).Isa.Config.area <> 0 then
+            ok := Fail "first curve point is not the software configuration";
+          for i = 1 to Array.length pts - 1 do
+            if !ok = Pass
+               && not
+                    (pts.(i).Isa.Config.area > pts.(i - 1).Isa.Config.area
+                     && pts.(i).Isa.Config.cycles < pts.(i - 1).Isa.Config.cycles)
+            then
+              ok :=
+                failf "curve not strictly monotone at point %d: (%d,%d) after (%d,%d)"
+                  i pts.(i).Isa.Config.area pts.(i).Isa.Config.cycles
+                  pts.(i - 1).Isa.Config.area pts.(i - 1).Isa.Config.cycles
+          done;
+          (* more area can never buy a slower configuration *)
+          let max_area = Isa.Config.max_area curve in
+          let prev = ref (Isa.Config.best_at curve 0) in
+          for b = 1 to max_area do
+            let p = Isa.Config.best_at curve b in
+            if !ok = Pass && p.Isa.Config.cycles > !prev.Isa.Config.cycles then
+              ok := failf "best_at %d slower than best_at %d" b (b - 1);
+            prev := p
+          done;
+          !ok) }
+
+let candidates_respect_constraints =
+  { name = "candidates_respect_constraints";
+    suite = "curve";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let constraints = Isa.Hw_model.default_constraints in
+        let cands = Ise.Enumerate.connected ~constraints dfg in
+        let rec check = function
+          | [] -> Pass
+          | (ci : Isa.Custom_inst.t) :: rest ->
+            if ci.inputs > constraints.Isa.Hw_model.max_inputs then
+              failf "candidate with %d inputs (limit %d)" ci.inputs
+                constraints.Isa.Hw_model.max_inputs
+            else if ci.outputs > constraints.Isa.Hw_model.max_outputs then
+              failf "candidate with %d outputs (limit %d)" ci.outputs
+                constraints.Isa.Hw_model.max_outputs
+            else if Isa.Custom_inst.gain ci <= 0 then
+              failf "candidate with non-positive gain %d" (Isa.Custom_inst.gain ci)
+            else if not (Ir.Dfg.is_convex dfg ci.nodes) then
+              Fail "non-convex candidate emitted"
+            else if not (Ir.Dfg.is_connected dfg ci.nodes) then
+              Fail "disconnected candidate emitted"
+            else if not (Ir.Dfg.all_valid dfg ci.nodes) then
+              Fail "candidate contains an ISE-ineligible operation"
+            else begin
+              match Isa.Custom_inst.check ~constraints dfg ci.nodes with
+              | Ok _ -> check rest
+              | Error r ->
+                failf "candidate fails re-validation: %s"
+                  (Format.asprintf "%a" Isa.Custom_inst.pp_rejection r)
+            end
+        in
+        check cands) }
+
+(* ---------------------------------------------------------------- *)
+(* engine                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let cache_counter = ref 0
+
+let cache_roundtrip_and_corruption =
+  { name = "cache_roundtrip_and_corruption";
+    suite = "engine";
+    run =
+      (fun inst ->
+        incr cache_counter;
+        let tmp =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "isecustom-check-%d-%d" (Unix.getpid ())
+               !cache_counter)
+        in
+        let saved_dir = Engine.Cache.dir () in
+        let saved_enabled = Engine.Cache.enabled () in
+        (* the deliberate corruption below rightly triggers the cache's
+           corruption warning; keep it off the fuzzer's stderr *)
+        let saved_level = Engine.Log.level () in
+        Engine.Log.set_level Engine.Log.Error;
+        Fun.protect
+          ~finally:(fun () ->
+            Engine.Log.set_level saved_level;
+            ignore (Engine.Cache.clear ());
+            (try Unix.rmdir tmp with Unix.Unix_error _ | Sys_error _ -> ());
+            Engine.Cache.set_dir saved_dir;
+            Engine.Cache.set_enabled saved_enabled)
+          (fun () ->
+            Engine.Cache.set_dir tmp;
+            Engine.Cache.set_enabled true;
+            let key = Printf.sprintf "check-%d" inst.Instance.budget in
+            let value = inst.Instance.tasks in
+            Engine.Cache.store ~namespace:"check" ~key value;
+            match Engine.Cache.find ~namespace:"check" ~key () with
+            | None -> Fail "stored entry reads as a miss"
+            | Some (v : Instance.task_spec list) when v <> value ->
+              Fail "cache hit returned a different value"
+            | Some _ ->
+              (* truncate the entry at a random point: loading must
+                 degrade to a miss, never raise *)
+              let file = Engine.Cache.file_of ~namespace:"check" ~key in
+              let contents =
+                let ic = open_in_bin file in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              let cut = inst.Instance.budget mod max 1 (String.length contents) in
+              let oc = open_out_bin file in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc (String.sub contents 0 cut));
+              let corrupt_before = Engine.Telemetry.counter "cache.corrupt" in
+              (match Engine.Cache.find ~namespace:"check" ~key () with
+               | exception e ->
+                 failf "corrupt entry raised %s instead of recomputing"
+                   (Printexc.to_string e)
+               | Some _ ->
+                 Fail "truncated entry still reads as a hit"
+               | None when Engine.Telemetry.counter "cache.corrupt" = corrupt_before ->
+                 Fail "truncated entry read as a plain miss, not corruption"
+               | None ->
+                 (* the recompute-and-store path must repair the entry *)
+                 Engine.Cache.store ~namespace:"check" ~key value;
+                 if Engine.Cache.find ~namespace:"check" ~key () = Some value
+                 then Pass
+                 else Fail "re-stored entry does not read back"))) }
+
+let parallel_map_matches_sequential =
+  { name = "parallel_map_matches_sequential";
+    suite = "engine";
+    run =
+      (fun inst ->
+        let xs = List.init (1 + (inst.Instance.budget mod 40)) Fun.id in
+        let f x = Hashtbl.hash (x, inst.Instance.budget, inst.Instance.eps) in
+        let seq = List.map f xs in
+        let par = Engine.Parallel.map ~jobs:3 f xs in
+        if par <> seq then Fail "Parallel.map diverges from List.map"
+        else begin
+          let sum = List.fold_left ( + ) 0 seq in
+          let par_sum =
+            Engine.Parallel.map_reduce ~jobs:2 ~map:f
+              ~reduce:(fun acc v -> acc + v)
+              0 xs
+          in
+          if par_sum <> sum then
+            failf "map_reduce sum %d, sequential %d" par_sum sum
+          else Pass
+        end) }
+
+(* ---------------------------------------------------------------- *)
+
+let all =
+  [ edf_dp_matches_oracle;
+    rms_bnb_matches_oracle;
+    heuristics_bounded_by_optimal;
+    edf_budget_monotone;
+    rms_pruning_invariant;
+    rms_test_matches_response_time;
+    exact_front_matches_oracle;
+    approx_front_eps_covers;
+    inter_stage_approx_covers;
+    generated_curve_well_formed;
+    candidates_respect_constraints;
+    cache_roundtrip_and_corruption;
+    parallel_map_matches_sequential ]
+
+let suites =
+  List.fold_left
+    (fun acc p -> if List.mem p.suite acc then acc else acc @ [ p.suite ])
+    [] all
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let in_suites = function
+  | [] -> all
+  | wanted -> List.filter (fun p -> List.mem p.suite wanted) all

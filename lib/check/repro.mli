@@ -1,0 +1,19 @@
+(** Replayable counterexample files.
+
+    A repro file is one JSON object — property name, the seed the run
+    started from, and the (shrunk) instance — written with
+    {!Engine.Jsonx} and read back with the small JSON parser this
+    module carries (parsing deliberately stays out of [lib/engine]).
+    [isecustom check replay FILE] re-runs exactly the recorded property
+    on exactly the recorded instance. *)
+
+val write : file:string -> prop:string -> seed:int -> Instance.t -> unit
+(** Atomically write a repro file (temp file + rename). *)
+
+type t = { prop : string; seed : int; instance : Instance.t }
+
+val read : string -> (t, string) result
+(** Parse a repro file; [Error] carries a human-readable reason. *)
+
+val instance_of_json : string -> (Instance.t, string) result
+(** Decode just an instance object — exposed for round-trip tests. *)

@@ -1,0 +1,190 @@
+type config = {
+  seed : int;
+  budget : int;
+  suites : string list;
+  repro_dir : string;
+}
+
+let default = { seed = 42; budget = 200; suites = []; repro_dir = "." }
+
+type failure = {
+  prop : string;
+  suite : string;
+  case : int;
+  message : string;
+  shrunk : Instance.t;
+  shrink_steps : int;
+  repro_file : string option;
+}
+
+type summary = {
+  cases : int;
+  passed : int;
+  skipped : int;
+  failures : failure list;
+}
+
+let ok s = s.failures = []
+
+let null_fmt =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* Independent stream per property: mixing the name into the seed keeps
+   one property's draws stable when others are added or filtered out. *)
+let prng_for ~seed (p : Prop.t) =
+  Util.Prng.create (seed lxor (Hashtbl.hash p.Prop.name * 0x1000193))
+
+let still_fails (p : Prop.t) inst =
+  match p.Prop.run inst with
+  | Prop.Fail _ -> true
+  | Prop.Pass | Prop.Skip _ -> false
+
+let write_repro ~config ~seed (p : Prop.t) shrunk =
+  let file =
+    Filename.concat config.repro_dir
+      (Printf.sprintf "repro-%s-%d.json" p.Prop.name seed)
+  in
+  match Repro.write ~file ~prop:p.Prop.name ~seed shrunk with
+  | () -> Some file
+  | exception (Sys_error _ | Unix.Unix_error _) -> None
+
+let run_property ~fmt ~config (p : Prop.t) =
+  Engine.Trace.with_span "check.property" ~attrs:[ ("prop", p.Prop.name) ]
+  @@ fun () ->
+  let prng = prng_for ~seed:config.seed p in
+  let passed = ref 0 and skipped = ref 0 in
+  let failure = ref None in
+  let case = ref 0 in
+  while !failure = None && !case < config.budget do
+    let inst = Gen.instance (Util.Prng.split prng) in
+    Engine.Telemetry.incr "check.cases";
+    (match p.Prop.run inst with
+     | Prop.Pass -> incr passed
+     | Prop.Skip _ -> incr skipped
+     | Prop.Fail message ->
+       Engine.Telemetry.incr "check.failures";
+       Engine.Log.err "check: %s/%s failed at case %d: %s" p.Prop.suite
+         p.Prop.name !case message;
+       let shrunk, shrink_steps =
+         Shrink.shrink ~still_fails:(still_fails p) inst
+       in
+       let message =
+         match p.Prop.run shrunk with
+         | Prop.Fail m -> m
+         | Prop.Pass | Prop.Skip _ -> message
+       in
+       let repro_file = write_repro ~config ~seed:config.seed p shrunk in
+       (match repro_file with
+        | Some file -> Engine.Log.err "check: repro written to %s" file
+        | None ->
+          Engine.Log.warn "check: could not write a repro file under %s"
+            config.repro_dir);
+       failure :=
+         Some
+           { prop = p.Prop.name;
+             suite = p.Prop.suite;
+             case = !case;
+             message;
+             shrunk;
+             shrink_steps;
+             repro_file });
+    incr case
+  done;
+  (match !failure with
+   | None ->
+     Format.fprintf fmt "  %-34s ok   (%d cases, %d skipped)@." p.Prop.name
+       !passed !skipped
+   | Some f ->
+     Format.fprintf fmt "  %-34s FAIL at case %d: %s@." p.Prop.name f.case
+       f.message;
+     Format.fprintf fmt "    shrunk %d step%s to size %d%s@." f.shrink_steps
+       (if f.shrink_steps = 1 then "" else "s")
+       (Instance.size f.shrunk)
+       (match f.repro_file with
+        | Some file -> Printf.sprintf "; replay with `check replay %s'" file
+        | None -> ""));
+  (!case, !passed, !skipped, !failure)
+
+let run ?(fmt = null_fmt) ?props config =
+  Engine.Trace.with_span "check.run" @@ fun () ->
+  let props =
+    match props with Some ps -> ps | None -> Prop.in_suites config.suites
+  in
+  let by_suite =
+    List.fold_left
+      (fun acc (p : Prop.t) ->
+        if List.mem_assoc p.Prop.suite acc then acc
+        else acc @ [ (p.Prop.suite, List.filter (fun (q : Prop.t) -> q.Prop.suite = p.Prop.suite) props) ])
+      [] props
+  in
+  let totals = ref (0, 0, 0) and failures = ref [] in
+  List.iter
+    (fun (suite, ps) ->
+      Format.fprintf fmt "suite %s:@." suite;
+      List.iter
+        (fun p ->
+          let cases, passed, skipped, failure = run_property ~fmt ~config p in
+          let c, pa, sk = !totals in
+          totals := (c + cases, pa + passed, sk + skipped);
+          match failure with
+          | Some f -> failures := f :: !failures
+          | None -> ())
+        ps)
+    by_suite;
+  let cases, passed, skipped = !totals in
+  let summary = { cases; passed; skipped; failures = List.rev !failures } in
+  Format.fprintf fmt "%d cases: %d passed, %d skipped, %d failure%s@." cases
+    passed skipped
+    (List.length summary.failures)
+    (if List.length summary.failures = 1 then "" else "s");
+  summary
+
+let replay ?(fmt = null_fmt) ?(props = Prop.all) file =
+  match Repro.read file with
+  | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+  | Ok { Repro.prop; seed; instance } ->
+    (match List.find_opt (fun (p : Prop.t) -> p.Prop.name = prop) props with
+     | None -> Error (Printf.sprintf "%s: unknown property %s" file prop)
+     | Some p ->
+       Format.fprintf fmt "replaying %s (recorded from seed %d):@.%a@." prop
+         seed Instance.pp instance;
+       (match p.Prop.run instance with
+        | Prop.Pass ->
+          Format.fprintf fmt "property now passes@.";
+          Ok true
+        | Prop.Skip reason ->
+          Format.fprintf fmt "instance out of domain (%s)@." reason;
+          Ok true
+        | Prop.Fail message ->
+          Format.fprintf fmt "failure reproduces: %s@." message;
+          Ok false))
+
+(* An off-by-one in the DP's area budget: the classic bug class the
+   differential suite exists to catch.  Dropping one deci-adder changes
+   the optimum exactly when the true optimum needs the full budget. *)
+let broken_edf ~budget tasks = Core.Edf_select.run ~budget:(max 0 (budget - 1)) tasks
+
+let selftest ?(fmt = null_fmt) ~seed ~repro_dir () =
+  let prop = Prop.edf_against ~name:"selftest_edf_off_by_one" broken_edf in
+  let config = { default with seed; budget = 2000; repro_dir } in
+  Format.fprintf fmt "self-test: EDF DP with an off-by-one budget injected@.";
+  let summary = run ~fmt ~props:[ prop ] config in
+  match summary.failures with
+  | [] ->
+    Error
+      (Printf.sprintf
+         "injected off-by-one survived %d random cases — the harness is blind"
+         summary.cases)
+  | f :: _ ->
+    (match f.repro_file with
+     | None -> Error "bug caught but no repro file could be written"
+     | Some file ->
+       (match replay ~fmt ~props:[ prop ] file with
+        | Ok false ->
+          Ok
+            (Printf.sprintf
+               "injected bug caught at case %d, shrunk %d steps to size %d, \
+                repro %s replays the failure"
+               f.case f.shrink_steps (Instance.size f.shrunk) file)
+        | Ok true -> Error "shrunk repro no longer fails on replay"
+        | Error msg -> Error msg))

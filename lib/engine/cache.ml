@@ -51,9 +51,17 @@ let store_versioned ~version ~namespace ~key v =
 let store ~namespace ~key v =
   store_versioned ~version:format_version ~namespace ~key v
 
-let read_entry file : (header * string) option =
+(* Distinguishing a missing entry from a damaged one lets [find] warn
+   about real corruption (truncated writes, foreign files, version
+   drift) while a plain cold miss stays silent. *)
+type read_result =
+  | Missing
+  | Corrupt of string
+  | Entry of header * string
+
+let read_entry file : read_result =
   match open_in_bin file with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> Missing
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -61,21 +69,33 @@ let read_entry file : (header * string) option =
         (* Any corruption — truncation, garbage, a foreign file — lands
            here as an exception or a failed check and reads as a miss. *)
         match (Marshal.from_channel ic : header * string) with
-        | ((m, v, ns, k, digest), payload)
-          when m = magic && v = format_version
-               && Digest.equal digest (Digest.string payload) ->
-          Some ((m, v, ns, k, digest), payload)
-        | _ -> None
-        | exception _ -> None)
+        | ((m, _, _, _, _), _) when m <> magic -> Corrupt "bad magic"
+        | ((_, v, _, _, _), _) when v <> format_version ->
+          Corrupt (Printf.sprintf "format version %d (want %d)" v format_version)
+        | ((_, _, _, _, digest), payload)
+          when not (Digest.equal digest (Digest.string payload)) ->
+          Corrupt "payload digest mismatch"
+        | header, payload -> Entry (header, payload)
+        | exception _ -> Corrupt "truncated or unreadable")
 
 let find ~namespace ~key () =
   if not (enabled ()) then None
   else begin
     let result =
       match read_entry (file_of ~namespace ~key) with
-      | Some ((_, _, ns, k, _), payload) when ns = namespace && k = key ->
-        (try Some (Marshal.from_string payload 0) with _ -> None)
-      | Some _ | None -> None
+      | Entry ((_, _, ns, k, _), payload) when ns = namespace && k = key ->
+        (try Some (Marshal.from_string payload 0)
+         with _ ->
+           Telemetry.incr "cache.corrupt";
+           Log.warn "cache: undecodable payload in %s/%s — recomputing"
+             namespace key;
+           None)
+      | Corrupt reason ->
+        Telemetry.incr "cache.corrupt";
+        Log.warn "cache: %s in %s (%s/%s) — recomputing"
+          reason (file_of ~namespace ~key) namespace key;
+        None
+      | Entry _ | Missing -> None
     in
     Telemetry.incr (if result = None then "cache.misses" else "cache.hits");
     Log.debug "cache: %s %s/%s"
@@ -99,9 +119,9 @@ let entries () =
   List.filter_map
     (fun file ->
       match read_entry file with
-      | Some ((_, _, namespace, key, _), payload) ->
+      | Entry ((_, _, namespace, key, _), payload) ->
         Some { namespace; key; file; size = String.length payload }
-      | None ->
+      | Missing | Corrupt _ ->
         (* keep corrupt/outdated files visible so `cache show` explains
            what `cache clear` would reclaim *)
         Some { namespace = "<unreadable>"; key = "-"; file;

@@ -5,8 +5,10 @@
     atomic temp-file-plus-rename so a crash never leaves a half-written
     entry visible.  Every entry is versioned ({!format_version}) and
     digest-checked on load; truncated, corrupt or outdated files read as
-    misses instead of raising.  Lookups report ["cache.hits"] /
-    ["cache.misses"] into {!Telemetry}.
+    misses instead of raising, each with a {!Log.warn} naming the file
+    and the damage so the recompute is explained.  Lookups report
+    ["cache.hits"] / ["cache.misses"] (and ["cache.corrupt"]) into
+    {!Telemetry}.
 
     Values are stored with [Marshal]; callers are responsible for using
     a distinct [namespace] per value type (the namespace and full key

@@ -71,14 +71,3 @@ let generate ?(params = default) cfg =
   done;
   Engine.Telemetry.incr "curve.curves_generated";
   Isa.Config.of_points ~base_cycles:base !points
-
-let with_legacy ?(constraints = Isa.Hw_model.default_constraints)
-    ?(budget = Enumerate.default_budget) ?(hot_threshold = 0.01)
-    ?(sweep_points = 24) () =
-  { constraints; budget; hot_threshold; sweep_points }
-
-let candidates_legacy ?constraints ?budget ?hot_threshold cfg =
-  candidates ~params:(with_legacy ?constraints ?budget ?hot_threshold ()) cfg
-
-let generate_legacy ?constraints ?budget ?hot_threshold ?sweep_points cfg =
-  generate ~params:(with_legacy ?constraints ?budget ?hot_threshold ?sweep_points ()) cfg

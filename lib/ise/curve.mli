@@ -42,20 +42,3 @@ val generate : ?params:params -> Ir.Cfg.t -> Isa.Config.t
 (** The task's configuration curve ([params.sweep_points] area budgets,
     each solved with branch-and-bound when the candidate set is small
     enough and the greedy selector otherwise). *)
-
-val candidates_legacy :
-  ?constraints:Isa.Hw_model.constraints ->
-  ?budget:Enumerate.budget ->
-  ?hot_threshold:float ->
-  Ir.Cfg.t ->
-  Select.candidate list
-[@@ocaml.deprecated "Use candidates ~params (Ise.Curve.params)."]
-
-val generate_legacy :
-  ?constraints:Isa.Hw_model.constraints ->
-  ?budget:Enumerate.budget ->
-  ?hot_threshold:float ->
-  ?sweep_points:int ->
-  Ir.Cfg.t ->
-  Isa.Config.t
-[@@ocaml.deprecated "Use generate ~params (Ise.Curve.params)."]
