@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench fuzz clean
+.PHONY: all build test fmt check bench fuzz faults clean
 
 all: build
 
@@ -35,6 +35,17 @@ SEED ?= 42
 BUDGET ?= 1000
 fuzz:
 	dune exec bin/isecustom.exe -- check --seed $(SEED) --budget $(BUDGET)
+
+# Fault-injection run (lib/engine/fault): first fire every injection
+# point deterministically and assert each is survived, then run the
+# whole differential suite with random faults raining on the cache,
+# the worker pool and the resource guards — everything must still pass
+# (properties that assert exactness skip themselves under injection).
+FAULT_SPEC ?= seed=42,cache.write=0.2,cache.read=0.2,cache.truncate=0.2,parallel.worker=0.2,guard.exhaust=0.01
+faults: build
+	dune exec bin/isecustom.exe -- check faults
+	dune exec bin/isecustom.exe -- check --seed $(SEED) --budget 200 \
+	  --fault-spec "$(FAULT_SPEC)"
 
 clean:
 	dune clean

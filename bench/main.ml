@@ -21,14 +21,40 @@ let run_one (e : Experiments.Registry.experiment) =
   Format.pp_print_flush fmt ();
   flush stdout
 
+(* The full sweep goes through [run_sweep]: a crashing driver is
+   reported in place and the rest of the paper still regenerates. *)
+let run_all () =
+  let outcomes = Experiments.Registry.run_sweep Experiments.Registry.all in
+  let failures =
+    List.filter_map
+      (fun ((e : Experiments.Registry.experiment), outcome) ->
+        (match outcome with
+         | Ok result ->
+           Experiments.Report.render fmt result;
+           Format.fprintf fmt "[%s completed in %.1fs]@." e.id result.elapsed
+         | Error msg ->
+           Format.fprintf fmt "@.=== %s: %s ===@.[FAILED: %s]@." e.id e.title
+             msg);
+        Format.pp_print_flush fmt ();
+        flush stdout;
+        match outcome with Ok _ -> None | Error _ -> Some e.id)
+      outcomes
+  in
+  (match failures with
+   | [] -> ()
+   | ids ->
+     Format.fprintf fmt "@.[%d experiment(s) failed: %s]@." (List.length ids)
+       (String.concat ", " ids));
+  failures = []
+
 (* Downstream dashboards key on these fields; fail the bench loudly if
    the file we just wrote lost one, rather than letting a rename surface
    as a silent gap in the performance trajectory. *)
 let bench_keys =
   [ "kernels"; "jobs"; "cold_sequential_s"; "cold_parallel_s"; "warm_cache_s";
     "parallel_speedup"; "warm_speedup"; "cache_hits"; "cache_misses";
-    "curve_latency"; "p50_s"; "p90_s"; "p99_s"; "max_s"; "telemetry";
-    "histograms" ]
+    "curve_latency"; "p50_s"; "p90_s"; "p99_s"; "max_s"; "status";
+    "telemetry"; "histograms" ]
 
 let validate_bench_json path =
   let ic = open_in path in
@@ -107,6 +133,12 @@ let engine_bench () =
          \"max_s\": %.6f}"
         s.count s.p50 s.p90 s.p99 s.max
   in
+  (* telemetry was reset at bench start, so any guard exhaustion counted
+     here happened during these measurements *)
+  let status =
+    if Engine.Telemetry.counter "guard.exhausted" > 0 then "partial"
+    else "exact"
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -120,13 +152,14 @@ let engine_bench () =
       \  \"cache_hits\": %d,\n\
       \  \"cache_misses\": %d,\n\
       \  \"curve_latency\": %s,\n\
+      \  \"status\": \"%s\",\n\
       \  \"telemetry\": %s,\n\
       \  \"histograms\": %s\n\
        }\n"
       (List.length names) jobs cold_seq cold_par warm
       (cold_seq /. Float.max 1e-9 cold_par)
       (cold_seq /. Float.max 1e-9 warm)
-      hits misses latency
+      hits misses latency status
       (Engine.Telemetry.to_json ())
       (Engine.Histogram.to_json ())
   in
@@ -152,7 +185,8 @@ let () =
   | [] | _ :: [] ->
     Format.printf "Reproduction harness: instruction-set customization for \
                    real-time embedded systems (DATE 2007)@.";
-    List.iter run_one Experiments.Registry.all;
-    engine_bench ()
+    let all_ok = run_all () in
+    engine_bench ();
+    if not all_ok then exit 1
   | _ :: [ "--list" ] -> usage ()
   | _ :: ids -> List.iter run_id ids

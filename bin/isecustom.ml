@@ -11,14 +11,19 @@
      stats <id>                   run an experiment and print its span tree,
                                   histogram percentiles and telemetry
      cache show|clear             inspect / empty the persistent curve cache
-     check [replay F | selftest]  property-based differential testing of the
-                                  solver stack against brute-force oracles
+     check [replay F | selftest | faults]
+                                  property-based differential testing of the
+                                  solver stack against brute-force oracles;
+                                  `faults` exercises every fault-injection point
 
-   Observability flags shared by the solver-running commands:
+   Observability and resilience flags shared by the solver-running commands:
      --trace FILE       Chrome trace_event JSON (about:tracing / Perfetto)
      --log-level LEVEL  error | warn | info | debug   (default warn)
      --log-json FILE    JSONL log sink in addition to stderr
-     --metrics-out FILE telemetry + histogram percentiles as JSON *)
+     --metrics-out FILE telemetry + histogram percentiles as JSON
+     --deadline S       wall-clock budget per solver run (anytime degradation)
+     --max-nodes N      deterministic fuel budget per solver run
+     --fault-spec SPEC  seeded fault injection, e.g. seed=7,cache.write=0.1 *)
 
 open Cmdliner
 
@@ -62,9 +67,38 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* Resilience flags: a process-wide solver budget (--deadline /
+   --max-nodes, see Engine.Guard) and seeded fault injection
+   (--fault-spec, see Engine.Fault). *)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget in $(docv) seconds for each exponential solver \
+     run; on expiry the solver stops and returns its best result so \
+     far, reported as partial."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let max_nodes_arg =
+  let doc =
+    "Deterministic work budget (search nodes / fuel units) per solver \
+     run.  Unlike $(b,--deadline), equal budgets reproduce bit-identical \
+     partial results on any machine."
+  in
+  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N" ~doc)
+
+let fault_spec_arg =
+  let doc =
+    "Enable seeded fault injection, e.g. \
+     $(b,seed=7,cache.write=0.1,parallel.worker=1x2).  Also settable \
+     via ISECUSTOM_FAULT_SPEC."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+
 type obs = { trace_file : string option; metrics_file : string option }
 
-let obs_setup trace_file log_level log_json metrics_file =
+let obs_setup trace_file log_level log_json metrics_file deadline max_nodes
+    fault_spec =
   (match Engine.Log.level_of_string log_level with
    | Ok l -> Engine.Log.set_level l
    | Error msg ->
@@ -72,12 +106,33 @@ let obs_setup trace_file log_level log_json metrics_file =
      exit 1);
   Engine.Log.set_json_file log_json;
   if trace_file <> None then Engine.Trace.set_enabled true;
+  (match deadline with
+   | Some d when d <= 0. ->
+     Format.eprintf "--deadline must be positive@.";
+     exit 1
+   | _ -> ());
+  (match max_nodes with
+   | Some n when n <= 0 ->
+     Format.eprintf "--max-nodes must be positive@.";
+     exit 1
+   | _ -> ());
+  if deadline <> None || max_nodes <> None then
+    Engine.Guard.set_default_spec
+      { Engine.Guard.deadline_s = deadline; fuel = max_nodes };
+  (match fault_spec with
+   | None -> ()
+   | Some s ->
+     (match Engine.Fault.parse s with
+      | Ok spec -> Engine.Fault.configure spec
+      | Error msg ->
+        Format.eprintf "--fault-spec: %s@." msg;
+        exit 1));
   { trace_file; metrics_file }
 
 let obs_term =
   Term.(
     const obs_setup $ trace_file_arg $ log_level_arg $ log_json_arg
-    $ metrics_out_arg)
+    $ metrics_out_arg $ deadline_arg $ max_nodes_arg $ fault_spec_arg)
 
 let metrics_json () =
   Printf.sprintf "{\"telemetry\": %s, \"histograms\": %s}\n"
@@ -205,9 +260,21 @@ let select_cmd =
        if sel.Core.Selection.utilization > 1. then
          Format.fprintf fmt "not EDF-schedulable at this budget@."
      | `Rms ->
-       (match Core.Rms_select.run ~budget tasks with
-        | Some sel -> Format.fprintf fmt "%a@." Core.Selection.pp sel
-        | None -> Format.fprintf fmt "not RMS-schedulable at this budget@."));
+       (match Core.Rms_select.run_guarded ~budget tasks with
+        | Some sel, status ->
+          Format.fprintf fmt "%a@." Core.Selection.pp sel;
+          (match status with
+           | Engine.Guard.Exact -> ()
+           | s ->
+             Format.fprintf fmt
+               "(%s — best incumbent found, optimality not proven)@."
+               (Engine.Guard.string_of_status s))
+        | None, Engine.Guard.Exact ->
+          Format.fprintf fmt "not RMS-schedulable at this budget@."
+        | None, (Engine.Guard.Partial _ as s) ->
+          Format.fprintf fmt
+            "no feasible selection found before the budget ran out (%s)@."
+            (Engine.Guard.string_of_status s)));
     obs_finish obs;
     Format.pp_print_flush fmt ()
   in
@@ -450,7 +517,8 @@ let check_cmd =
     let doc =
       "Optional action: $(b,replay) $(i,FILE) re-runs a recorded \
        counterexample; $(b,selftest) injects an off-by-one solver bug and \
-       verifies the harness catches, shrinks and persists it."
+       verifies the harness catches, shrinks and persists it; $(b,faults) \
+       fires every fault-injection point and verifies each is survived."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"ACTION" ~doc)
   in
@@ -486,9 +554,17 @@ let check_cmd =
          | Error msg ->
            Format.eprintf "self-test FAILED: %s@." msg;
            1)
+      | [ "faults" ] ->
+        (match Check.Runner.fault_selftest ~fmt () with
+         | Ok msg ->
+           Format.fprintf fmt "fault self-test ok: %s@." msg;
+           0
+         | Error msg ->
+           Format.eprintf "fault self-test FAILED: %s@." msg;
+           1)
       | _ ->
         Format.eprintf
-          "usage: isecustom check [OPTS] [replay FILE | selftest]@.";
+          "usage: isecustom check [OPTS] [replay FILE | selftest | faults]@.";
         exit 2
     in
     obs_finish obs;

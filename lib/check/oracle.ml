@@ -5,9 +5,18 @@ let combination_count tasks =
       if acc > max_int / max n 1 then max_int else acc * n)
     1 tasks
 
-let selections ~budget tasks =
+(* The oracles are exhaustive by design, so an anytime partial answer
+   would be worse than useless — it could silently agree with a buggy
+   solver.  A guard therefore does not degrade them: [check_exn] raises
+   [Engine.Guard.Exhausted] and the caller (a property) skips the case,
+   keeping the differential verdicts all-or-nothing. *)
+let oracle_tick guard =
+  match guard with Some g -> Engine.Guard.check_exn g | None -> ()
+
+let selections ?guard ~budget tasks =
   let rec explore acc = function
     | [] ->
+      oracle_tick guard;
       let sel = Core.Selection.of_assignment (List.rev acc) in
       if sel.Core.Selection.area <= budget then [ sel ] else []
     | (task : Rt.Task.t) :: rest ->
@@ -22,11 +31,11 @@ let better (a : Core.Selection.t) (b : Core.Selection.t) =
   a.utilization < b.utilization -. 1e-12
   || (Float.abs (a.utilization -. b.utilization) <= 1e-12 && a.area < b.area)
 
-let edf_best ~budget tasks =
+let edf_best ?guard ~budget tasks =
   List.fold_left
     (fun best sel -> if better sel best then sel else best)
     (Core.Selection.software tasks)
-    (selections ~budget tasks)
+    (selections ?guard ~budget tasks)
 
 let response_time_schedulable pairs =
   let by_priority =
@@ -55,7 +64,7 @@ let response_time_schedulable pairs =
   in
   fits 0
 
-let rms_best ~budget tasks =
+let rms_best ?guard ~budget tasks =
   List.fold_left
     (fun best sel ->
       let pairs =
@@ -69,16 +78,18 @@ let rms_best ~budget tasks =
         | None -> Some sel
         | Some b -> if better sel b then Some sel else best)
     None
-    (selections ~budget tasks)
+    (selections ?guard ~budget tasks)
 
-let pareto_exhaustive ~base entities =
+let pareto_exhaustive ?guard ~base entities =
   let with_zero (e : Pareto.Mo_select.entity) =
     if Array.exists (fun (o : Pareto.Mo_select.option_) -> o.cost = 0 && o.delta = 0.) e
     then e
     else Array.append [| { Pareto.Mo_select.delta = 0.; cost = 0 } |] e
   in
   let rec explore cost delta = function
-    | [] -> [ { Util.Pareto_front.cost; value = base -. delta } ]
+    | [] ->
+      oracle_tick guard;
+      [ { Util.Pareto_front.cost; value = base -. delta } ]
     | e :: rest ->
       Array.fold_left
         (fun acc (o : Pareto.Mo_select.option_) ->

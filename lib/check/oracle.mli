@@ -7,21 +7,33 @@
     production solver cannot mask itself.  All are exponential (or
     pseudo-polynomial with no cleverness) and must only be fed the small
     instances {!Gen} produces; {!combination_count} lets properties skip
-    pathological cases. *)
+    pathological cases.
+
+    The optional [guard] is a hard stop, not a degradation: an anytime
+    partial oracle could silently agree with a buggy solver, so an
+    exhausted guard raises {!Engine.Guard.Exhausted} (one fuel unit per
+    enumerated assignment / option combination) and the calling
+    property turns it into a skip. *)
 
 val combination_count : Rt.Task.t list -> int
 (** Π curve sizes — the number of assignments the selection oracles
     enumerate (saturates at [max_int] on overflow). *)
 
-val selections : budget:int -> Rt.Task.t list -> Core.Selection.t list
+val selections :
+  ?guard:Engine.Guard.t -> budget:int -> Rt.Task.t list -> Core.Selection.t list
 (** Every full assignment within the area budget, in enumeration
     order. *)
 
-val edf_best : budget:int -> Rt.Task.t list -> Core.Selection.t
+val edf_best :
+  ?guard:Engine.Guard.t -> budget:int -> Rt.Task.t list -> Core.Selection.t
 (** Minimum-utilization in-budget assignment (ties broken towards
     smaller area); the software assignment when nothing else fits. *)
 
-val rms_best : budget:int -> Rt.Task.t list -> Core.Selection.t option
+val rms_best :
+  ?guard:Engine.Guard.t ->
+  budget:int ->
+  Rt.Task.t list ->
+  Core.Selection.t option
 (** Minimum-utilization in-budget assignment that passes
     {!response_time_schedulable}; [None] when no assignment does. *)
 
@@ -33,7 +45,10 @@ val response_time_schedulable : (int * int) list -> bool
     {!Rt.Sched.rms_schedulable}'s Bini–Buttazzo recurrence. *)
 
 val pareto_exhaustive :
-  base:float -> Pareto.Mo_select.entity list -> Util.Pareto_front.point list
+  ?guard:Engine.Guard.t ->
+  base:float ->
+  Pareto.Mo_select.entity list ->
+  Util.Pareto_front.point list
 (** Exact cost/value Pareto front by enumerating the full cross product
     of entity options (a zero option is added per entity, mirroring
     {!Pareto.Mo_select}'s convention) and filtering dominated points. *)

@@ -159,6 +159,164 @@ let replay ?(fmt = null_fmt) ?(props = Prop.all) file =
           Format.fprintf fmt "failure reproduces: %s@." message;
           Ok false))
 
+(* Drive every wired fault-injection point with probability 1 and prove
+   the surrounding resilience code survives it: a selftest for the
+   failure paths themselves, complementing [selftest] below which
+   validates the bug-finding side of the harness. *)
+exception Stage_failed of string
+
+let fault_selftest ?(fmt = null_fmt) () =
+  let check cond msg = if not cond then raise (Stage_failed msg) in
+  let point p ?(cap = 1) () =
+    Engine.Fault.configure
+      { Engine.Fault.seed = 42;
+        points = [ (p, { Engine.Fault.prob = 1.; cap = Some cap }) ] }
+  in
+  let counter = Engine.Telemetry.counter in
+  let injected_since before p =
+    check
+      (counter "fault.injected" > before)
+      (p ^ ": fault.injected telemetry did not increase");
+    check (Engine.Fault.fired p >= 1) (p ^ ": the point never fired")
+  in
+  let ns = "faultcheck" in
+  let value = [ 3; 1; 4; 1; 5 ] in
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "isecustom-faults-%d" (Unix.getpid ()))
+  in
+  let saved_dir = Engine.Cache.dir () in
+  let saved_enabled = Engine.Cache.enabled () in
+  (* the injected failures rightly produce cache warnings; keep them off
+     stderr — the selftest's verdict is the signal *)
+  let saved_level = Engine.Log.level () in
+  Engine.Log.set_level Engine.Log.Error;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Fault.disable ();
+      Engine.Log.set_level saved_level;
+      ignore (Engine.Cache.clear ());
+      (try Unix.rmdir tmp with Unix.Unix_error _ | Sys_error _ -> ());
+      Engine.Cache.set_dir saved_dir;
+      Engine.Cache.set_enabled saved_enabled)
+    (fun () ->
+      Engine.Cache.set_dir tmp;
+      Engine.Cache.set_enabled true;
+      let stages =
+        [ ( "cache.write",
+            fun () ->
+              let before = counter "fault.injected" in
+              let failed_before = counter "cache.write_failed" in
+              point "cache.write" ();
+              Engine.Cache.store ~namespace:ns ~key:"w" value;
+              injected_since before "cache.write";
+              check
+                (counter "cache.write_failed" = failed_before + 1)
+                "cache.write: write_failed counter did not increase";
+              (* the cap is spent: the retry persists and reads back *)
+              Engine.Cache.store ~namespace:ns ~key:"w" value;
+              check
+                (Engine.Cache.find ~namespace:ns ~key:"w" () = Some value)
+                "cache.write: re-store after the fault does not read back" );
+          ( "cache.truncate",
+            fun () ->
+              let before = counter "fault.injected" in
+              let corrupt_before = counter "cache.corrupt" in
+              point "cache.truncate" ();
+              Engine.Cache.store ~namespace:ns ~key:"t" value;
+              injected_since before "cache.truncate";
+              check
+                (Engine.Cache.find ~namespace:ns ~key:"t" () = None)
+                "cache.truncate: torn entry still reads as a hit";
+              check
+                (counter "cache.corrupt" > corrupt_before)
+                "cache.truncate: torn entry not counted as corruption";
+              Engine.Cache.store ~namespace:ns ~key:"t" value;
+              check
+                (Engine.Cache.find ~namespace:ns ~key:"t" () = Some value)
+                "cache.truncate: recomputed entry does not read back" );
+          ( "cache.read",
+            fun () ->
+              Engine.Fault.disable ();
+              Engine.Cache.store ~namespace:ns ~key:"r" value;
+              let before = counter "fault.injected" in
+              point "cache.read" ();
+              check
+                (Engine.Cache.find ~namespace:ns ~key:"r" () = None)
+                "cache.read: injected read error still reads as a hit";
+              injected_since before "cache.read";
+              (* intact on disk: once the cap is spent the entry is back *)
+              check
+                (Engine.Cache.find ~namespace:ns ~key:"r" () = Some value)
+                "cache.read: entry lost after a transient read fault" );
+          ( "parallel.worker",
+            fun () ->
+              let before = counter "fault.injected" in
+              let recovered_before = counter "parallel.recovered" in
+              point "parallel.worker" ();
+              let outcomes =
+                Engine.Parallel.map_result ~jobs:1 ~attempts:2
+                  (fun x -> x * x)
+                  [ 1; 2; 3 ]
+              in
+              injected_since before "parallel.worker";
+              check
+                (outcomes = [ Ok 1; Ok 4; Ok 9 ])
+                "parallel.worker: transient crash not retried to success";
+              check
+                (counter "parallel.recovered" > recovered_before)
+                "parallel.worker: recovery not counted";
+              (* a permanent failure is isolated to its slot *)
+              Engine.Fault.disable ();
+              let failed_before = counter "parallel.item_failed" in
+              let outcomes =
+                Engine.Parallel.map_result ~jobs:1 ~attempts:2
+                  (fun x -> if x = 2 then failwith "permanent" else x * x)
+                  [ 1; 2; 3 ]
+              in
+              (match outcomes with
+               | [ Ok 1; Error _; Ok 9 ] -> ()
+               | _ ->
+                 raise
+                   (Stage_failed
+                      "parallel.worker: permanent failure not isolated to \
+                       its item"));
+              check
+                (counter "parallel.item_failed" > failed_before)
+                "parallel.worker: permanent failure not counted" );
+          ( "guard.exhaust",
+            fun () ->
+              let before = counter "fault.injected" in
+              let exhausted_before = counter "guard.exhausted" in
+              point "guard.exhaust" ();
+              let g = Engine.Guard.create ~fuel:1_000 () in
+              check
+                (not (Engine.Guard.tick g))
+                "guard.exhaust: tick survived a forced exhaustion";
+              injected_since before "guard.exhaust";
+              check
+                (Engine.Guard.status g
+                 = Engine.Guard.Partial Engine.Guard.Injected)
+                "guard.exhaust: status is not Partial Injected";
+              check
+                (counter "guard.exhausted" > exhausted_before)
+                "guard.exhaust: exhaustion not counted" ) ]
+      in
+      match
+        List.iter
+          (fun (name, stage) ->
+            stage ();
+            Engine.Fault.disable ();
+            Format.fprintf fmt "  %-18s survived@." name)
+          stages
+      with
+      | () ->
+        Ok
+          (Printf.sprintf
+             "all %d injection points fired and were survived"
+             (List.length stages))
+      | exception Stage_failed msg -> Error msg)
+
 (* An off-by-one in the DP's area budget: the classic bug class the
    differential suite exists to catch.  Dropping one deci-adder changes
    the optimum exactly when the true optimum needs the full budget. *)

@@ -50,6 +50,16 @@ val replay : ?fmt:Format.formatter -> ?props:Prop.t list -> string -> (bool, str
     reproduces, [Error] when the file is unreadable or names an unknown
     property. *)
 
+val fault_selftest : ?fmt:Format.formatter -> unit -> (string, string) result
+(** Drive every wired {!Engine.Fault} injection point (cache.write,
+    cache.truncate, cache.read, parallel.worker, guard.exhaust) at
+    probability 1 against a throwaway cache directory, asserting that
+    each fires (the ["fault.injected"] telemetry increases) and that the
+    surrounding resilience code survives it with the documented
+    degradation.  [Ok] summarises the points exercised; [Error] names
+    the first unsurvived failure.  Restores the fault, cache and log
+    configuration on exit. *)
+
 val selftest :
   ?fmt:Format.formatter -> seed:int -> repro_dir:string -> unit -> (string, string) result
 (** End-to-end harness validation: inject an off-by-one bug into the

@@ -3,13 +3,18 @@ type stats = {
   pruned_bound : int;  (** subtrees cut by the optimistic bound *)
   pruned_schedulability : int;  (** configurations failing the exact test *)
   pruned_area : int;  (** configurations over the remaining budget *)
+  status : Engine.Guard.status;  (** [Exact], or [Partial] if the guard ran out *)
 }
 
 let sort_by_priority tasks =
   List.sort (fun (a : Rt.Task.t) (b : Rt.Task.t) -> compare a.period b.period) tasks
 
-let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
+let run_instrumented ?guard ?(use_bound = true) ?(fastest_first = true) ~budget
+    tasks =
   if budget < 0 then invalid_arg "Rms_select.run: negative budget";
+  let guard =
+    match guard with Some g -> g | None -> Engine.Guard.default ()
+  in
   Engine.Trace.with_span "rms.bnb"
     ~attrs:
       [ ("tasks", string_of_int (List.length tasks));
@@ -38,8 +43,17 @@ let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
   let prefix_tasks i =
     Array.init (i + 1) (fun j -> (cycles.(j), tasks.(j).Rt.Task.period))
   in
+  (* One fuel unit per search-tree node: when the guard runs out the
+     whole tree unwinds (every pending call re-checks and returns),
+     leaving the incumbent — always a complete, schedulable, in-budget
+     assignment — as the anytime answer. *)
   let rec search i area u =
-    incr explored;
+    if not (Engine.Guard.tick guard) then ()
+    else begin
+      incr explored;
+      search_node i area u
+    end
+  and search_node i area u =
     if i = n then begin
       if u < !incumbent_u then begin
         incumbent_u := u;
@@ -80,9 +94,16 @@ let run_instrumented ?(use_bound = true) ?(fastest_first = true) ~budget tasks =
   Engine.Telemetry.add "rms.pruned_area" !pruned_area;
   ( Option.map Selection.of_assignment !incumbent,
     { explored = !explored; pruned_bound = !pruned_bound;
-      pruned_schedulability = !pruned_schedulability; pruned_area = !pruned_area } )
+      pruned_schedulability = !pruned_schedulability; pruned_area = !pruned_area;
+      status = Engine.Guard.status guard } )
 
-let run ~budget tasks = fst (run_instrumented ~budget tasks)
+let run ~budget tasks =
+  (* the documented exact contract: never subject to the default budget *)
+  fst (run_instrumented ~guard:(Engine.Guard.create ()) ~budget tasks)
+
+let run_guarded ?guard ~budget tasks =
+  let sel, stats = run_instrumented ?guard ~budget tasks in
+  (sel, stats.status)
 
 let exhaustive ~budget tasks =
   let tasks = sort_by_priority tasks in

@@ -18,16 +18,34 @@
 val run : budget:int -> Rt.Task.t list -> Selection.t option
 (** Minimum-utilization RMS-schedulable assignment within the budget;
     [None] when no assignment (including software-only) is
-    schedulable. *)
+    schedulable.  Always runs to completion (an explicit unlimited
+    guard), whatever the process-wide default budget — differential
+    oracles rely on this exactness. *)
+
+val run_guarded :
+  ?guard:Engine.Guard.t ->
+  budget:int ->
+  Rt.Task.t list ->
+  Selection.t option * Engine.Guard.status
+(** Bounded-effort {!run}: the branch-and-bound spends one fuel unit
+    per search-tree node and, when the guard is exhausted, unwinds and
+    returns the best incumbent found so far with status
+    [Partial reason].  A [Partial] incumbent is still a complete,
+    in-budget, RMS-schedulable assignment — just not proven minimal
+    (and [None] under [Partial] means no incumbent was reached, not
+    infeasibility).  [guard] defaults to {!Engine.Guard.default}, i.e.
+    the CLI's [--deadline] / [--max-nodes] budget. *)
 
 type stats = {
   explored : int;  (** search-tree nodes visited *)
   pruned_bound : int;  (** subtrees cut by the optimistic bound *)
   pruned_schedulability : int;  (** configurations failing the exact test *)
   pruned_area : int;  (** configurations over the remaining budget *)
+  status : Engine.Guard.status;  (** [Exact], or [Partial] if the guard ran out *)
 }
 
 val run_instrumented :
+  ?guard:Engine.Guard.t ->
   ?use_bound:bool ->
   ?fastest_first:bool ->
   budget:int ->
@@ -37,7 +55,8 @@ val run_instrumented :
     study: [use_bound] enables the optimistic lower-bound pruning,
     [fastest_first] the minimum-execution-time visiting order the thesis
     prescribes (both default true).  Disabling them never changes the
-    returned optimum, only the work done — a property the tests check. *)
+    returned optimum, only the work done — a property the tests check.
+    [guard] as in {!run_guarded}. *)
 
 val exhaustive : budget:int -> Rt.Task.t list -> Selection.t option
 (** Brute-force oracle for small instances. *)

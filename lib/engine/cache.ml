@@ -31,21 +31,43 @@ let write_versioned ~version ~namespace ~key payload =
   let file = file_of ~namespace ~key in
   let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
   let oc = open_out_bin tmp in
+  let committed = ref false in
+  (* The finally clause both closes the channel and unlinks the orphan
+     tmp file when anything below raises (ENOSPC, an injected fault):
+     a failed write must not leak one .tmp.<pid> per attempt. *)
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
+      Fault.inject "cache.write";
       Marshal.to_channel oc
         (((magic, version, namespace, key, Digest.string payload), payload)
           : header * string)
-        []);
-  Sys.rename tmp file
+        [];
+      flush oc;
+      if Fault.fires "cache.truncate" then
+        (* a torn write: the entry loses its tail but is still renamed
+           into place, exactly what a crash between write and fsync
+           leaves behind — the next read must see it as Corrupt *)
+        Unix.ftruncate (Unix.descr_of_out_channel oc)
+          (pos_out oc / 2);
+      Sys.rename tmp file;
+      committed := true)
 
 let store_versioned ~version ~namespace ~key v =
   if enabled () then begin
     let payload = Marshal.to_string v [] in
-    write_versioned ~version ~namespace ~key payload;
-    Log.debug "cache: stored %s/%s (%d bytes)" namespace key
-      (String.length payload)
+    match write_versioned ~version ~namespace ~key payload with
+    | () ->
+      Log.debug "cache: stored %s/%s (%d bytes)" namespace key
+        (String.length payload)
+    | exception (Sys_error _ | Unix.Unix_error (_, _, _) | Fault.Injected _) ->
+      (* degrade to in-memory-only: the caller keeps its computed value,
+         the entry just is not persisted for the next process *)
+      Telemetry.incr "cache.write_failed";
+      Log.warn "cache: could not persist %s/%s — continuing without the disk \
+                entry" namespace key
   end
 
 let store ~namespace ~key v =
@@ -68,7 +90,10 @@ let read_entry file : read_result =
       (fun () ->
         (* Any corruption — truncation, garbage, a foreign file — lands
            here as an exception or a failed check and reads as a miss. *)
-        match (Marshal.from_channel ic : header * string) with
+        match
+          Fault.inject "cache.read";
+          (Marshal.from_channel ic : header * string)
+        with
         | ((m, _, _, _, _), _) when m <> magic -> Corrupt "bad magic"
         | ((_, v, _, _, _), _) when v <> format_version ->
           Corrupt (Printf.sprintf "format version %d (want %d)" v format_version)
@@ -76,6 +101,7 @@ let read_entry file : read_result =
           when not (Digest.equal digest (Digest.string payload)) ->
           Corrupt "payload digest mismatch"
         | header, payload -> Entry (header, payload)
+        | exception Fault.Injected p -> Corrupt ("injected fault at " ^ p)
         | exception _ -> Corrupt "truncated or unreadable")
 
 let find ~namespace ~key () =

@@ -10,6 +10,13 @@
     ["cache.hits"] / ["cache.misses"] (and ["cache.corrupt"]) into
     {!Telemetry}.
 
+    The cache is best-effort in both directions: a failing write
+    (ENOSPC, a read-only directory, the ["cache.write"] fault point)
+    closes and unlinks its temp file, counts ["cache.write_failed"],
+    warns and returns — the process simply continues without the disk
+    entry.  The ["cache.read"] and ["cache.truncate"] {!Fault} points
+    exercise the corruption path on demand.
+
     Values are stored with [Marshal]; callers are responsible for using
     a distinct [namespace] per value type (the namespace and full key
     are verified on load, so a key collision across namespaces cannot

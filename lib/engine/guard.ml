@@ -1,0 +1,105 @@
+type reason = Deadline of float | Fuel of int | Injected
+
+type status = Exact | Partial of reason
+
+exception Exhausted of reason
+
+type spec = { deadline_s : float option; fuel : int option }
+
+let no_limit = { deadline_s = None; fuel = None }
+
+let default_spec_ref = ref no_limit
+let default_spec () = !default_spec_ref
+let set_default_spec spec = default_spec_ref := spec
+
+(* Wall-clock polls are batched: gettimeofday every [time_poll_interval]
+   fuel units, so a tick in a solver's inner loop stays a few integer
+   operations.  Fuel accounting itself is exact, which is what makes
+   fuel-bounded runs bit-for-bit reproducible. *)
+let time_poll_interval = 64
+
+type t = {
+  fuel : int option;
+  deadline_s : float option;  (** the budget, for reporting *)
+  deadline_at : float;  (** absolute, [infinity] when unlimited *)
+  mutable used : int;
+  mutable until_time_poll : int;
+  mutable reason : reason option;
+}
+
+let create ?deadline_s ?fuel () =
+  (match deadline_s with
+   | Some d when d <= 0. -> invalid_arg "Guard.create: non-positive deadline"
+   | _ -> ());
+  (match fuel with
+   | Some f when f <= 0 -> invalid_arg "Guard.create: non-positive fuel"
+   | _ -> ());
+  { fuel;
+    deadline_s;
+    deadline_at =
+      (match deadline_s with
+       | Some d -> Unix.gettimeofday () +. d
+       | None -> infinity);
+    used = 0;
+    until_time_poll = time_poll_interval;
+    reason = None }
+
+let of_spec (s : spec) = create ?deadline_s:s.deadline_s ?fuel:s.fuel ()
+
+let default () = of_spec (default_spec ())
+
+let string_of_reason = function
+  | Deadline d -> Printf.sprintf "deadline %.3fs exceeded" d
+  | Fuel f -> Printf.sprintf "fuel budget %d spent" f
+  | Injected -> "injected fault"
+
+let string_of_status = function
+  | Exact -> "exact"
+  | Partial r -> "partial: " ^ string_of_reason r
+
+let pp_status fmt s = Format.pp_print_string fmt (string_of_status s)
+
+let exhaust g reason =
+  g.reason <- Some reason;
+  Telemetry.incr "guard.exhausted";
+  Log.info "guard: stopping early (%s)" (string_of_reason reason)
+
+let tick ?(cost = 1) g =
+  match g.reason with
+  | Some _ -> false
+  | None ->
+    g.used <- g.used + cost;
+    (match g.fuel with
+     | Some f when g.used > f -> exhaust g (Fuel f)
+     | _ ->
+       (* Injection models a configured budget running out early, so an
+          unbounded guard is immune: [create ()] keeps its exactness
+          contract even under a fault spec. *)
+       if
+         (g.fuel <> None || g.deadline_s <> None)
+         && Fault.fires "guard.exhaust"
+       then exhaust g Injected
+       else begin
+         g.until_time_poll <- g.until_time_poll - cost;
+         if g.until_time_poll <= 0 then begin
+           g.until_time_poll <- time_poll_interval;
+           match g.deadline_s with
+           | Some d when Unix.gettimeofday () > g.deadline_at ->
+             exhaust g (Deadline d)
+           | _ -> ()
+         end
+       end);
+    g.reason = None
+
+let check_exn ?cost g =
+  if not (tick ?cost g) then
+    raise (Exhausted (Option.get g.reason))
+
+let exhausted g = g.reason
+
+let used g = g.used
+
+let status g = match g.reason with None -> Exact | Some r -> Partial r
+
+let merge_status a b =
+  match (a, b) with Partial _, _ -> a | Exact, b -> b

@@ -3,7 +3,23 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 (* Work-stealing over an atomic index into a shared input array.  Each
    worker writes only its own output slots, so no result synchronisation
    is needed; ordering the output array by input index makes the result
-   independent of scheduling, i.e. deterministic. *)
+   independent of scheduling, i.e. deterministic.
+
+   [run_workers] is the shared pool: it spawns [jobs - 1] domains (the
+   caller's domain is the last worker), parents worker trace spans to
+   the span enclosing the call, and merges each worker's trace buffer
+   before its domain terminates — after join the caller sees one
+   connected tree. *)
+let run_workers ~jobs body =
+  let span_parent = Trace.current () in
+  let worker () =
+    Trace.adopt span_parent body;
+    Trace.flush_local ()
+  in
+  let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains
+
 let map ?jobs f xs =
   let n = List.length xs in
   let jobs =
@@ -16,28 +32,27 @@ let map ?jobs f xs =
     let output = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    (* Spans recorded by workers hang off the span enclosing this map
-       call, and each worker merges its trace buffer before its domain
-       terminates — after join the caller sees one connected tree. *)
-    let span_parent = Trace.current () in
+    (* Set on the first failure and polled before every queue pop, so
+       the surviving workers stop claiming fresh items promptly instead
+       of draining the queue while the failure waits to be re-raised. *)
+    let cancelled = Atomic.make false in
     let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n && Atomic.get failure = None then begin
-        (try output.(i) <- Some (f input.(i))
-         with e ->
-           (* keep the first failure; later ones lose the race and are
-              dropped, as List.map would also only surface one *)
-           ignore (Atomic.compare_and_set failure None (Some e)));
-        worker ()
+      if not (Atomic.get cancelled) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try
+             Fault.inject "parallel.worker";
+             output.(i) <- Some (f input.(i))
+           with e ->
+             (* keep the first failure; later ones lose the race and are
+                dropped, as List.map would also only surface one *)
+             ignore (Atomic.compare_and_set failure None (Some e));
+             Atomic.set cancelled true);
+          worker ()
+        end
       end
     in
-    let worker () =
-      Trace.adopt span_parent worker;
-      Trace.flush_local ()
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
+    run_workers ~jobs worker;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.to_list
       (Array.map (function Some v -> v | None -> assert false) output)
@@ -47,3 +62,59 @@ let map_reduce ?jobs ~map:f ~reduce init xs =
   (* reduce in input order so the result is deterministic even for
      merely-associative (non-commutative) reducers *)
   List.fold_left reduce init (map ?jobs f xs)
+
+type error = { attempts : int; message : string }
+
+(* One item, with bounded retry.  Retrying covers transient failures
+   (an injected crash that does not re-fire, a racy resource); a
+   deterministic failure burns its attempts and is reported, isolated
+   to its own slot. *)
+let run_item ~attempts f x =
+  let rec go attempt =
+    match
+      Fault.inject "parallel.worker";
+      f x
+    with
+    | v ->
+      if attempt > 1 then Telemetry.incr "parallel.recovered";
+      Ok v
+    | exception e ->
+      if attempt < attempts then begin
+        Telemetry.incr "parallel.retried";
+        go (attempt + 1)
+      end
+      else begin
+        Telemetry.incr "parallel.item_failed";
+        Log.warn "parallel: item failed after %d attempt%s: %s" attempt
+          (if attempt = 1 then "" else "s")
+          (Printexc.to_string e);
+        Error { attempts = attempt; message = Printexc.to_string e }
+      end
+  in
+  go 1
+
+let map_result ?jobs ?(attempts = 2) f xs =
+  if attempts < 1 then invalid_arg "Parallel.map_result: attempts < 1";
+  let n = List.length xs in
+  let jobs =
+    let requested = match jobs with Some j -> j | None -> default_jobs () in
+    max 1 (min requested n)
+  in
+  if jobs <= 1 || n <= 1 then List.map (run_item ~attempts f) xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let next = Atomic.make 0 in
+    (* no cancellation here: a failed item degrades to its own Error
+       slot and every other item still runs to completion *)
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        output.(i) <- Some (run_item ~attempts f input.(i));
+        worker ()
+      end
+    in
+    run_workers ~jobs worker;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) output)
+  end

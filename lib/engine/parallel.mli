@@ -14,8 +14,13 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     pulling items off a shared queue ([jobs] defaults to
     {!default_jobs}; it is clamped to the list length).  If any [f]
     raises, the first exception is re-raised in the caller after all
-    workers have drained.  [f] must be safe to run concurrently with
-    itself (the whole pipeline below [Ise.Curve] is pure).
+    workers have drained; a shared cancellation flag, polled before
+    every queue pop, stops the surviving workers from claiming further
+    items in the meantime.  [f] must be safe to run concurrently with
+    itself (the whole pipeline below [Ise.Curve] is pure).  The
+    ["parallel.worker"] {!Fault} point, when armed, crashes items here
+    like any other exception — use {!map_result} for the batch to
+    survive it.
 
     Observability: workers report into {!Telemetry} and {!Histogram}
     directly (both are domain-safe); {!Trace} spans opened inside [f]
@@ -26,3 +31,19 @@ val map_reduce :
   ?jobs:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
 (** Parallel map followed by a sequential in-order fold, so the result
     is deterministic for any reducer. *)
+
+type error = {
+  attempts : int;  (** how many times the item was tried *)
+  message : string;  (** [Printexc.to_string] of the last failure *)
+}
+
+val map_result :
+  ?jobs:int -> ?attempts:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Crash-isolated {!map}: every item's outcome is captured in its own
+    slot (in input order), so one raising item degrades to an [Error]
+    instead of aborting the batch — the other items all still run.
+    Each item is tried up to [attempts] times (default 2, i.e. one
+    retry), which absorbs transient failures; a deterministic failure
+    is reported with its attempt count and rendered exception.
+    Telemetry: ["parallel.retried"], ["parallel.recovered"],
+    ["parallel.item_failed"]. *)

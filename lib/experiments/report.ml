@@ -3,6 +3,7 @@ type result = {
   rows : string list list;
   timings : (string * float) list;
   elapsed : float;
+  status : string;
 }
 
 type t = {
@@ -19,17 +20,26 @@ let row t cells = t.rows_rev <- cells :: t.rows_rev
 
 let timing t label dt = t.timings_rev <- (label, dt) :: t.timings_rev
 
-let result ?(elapsed = 0.) t =
+let result ?(elapsed = 0.) ?(status = "exact") t =
   { banner = t.header;
     rows = List.rev t.rows_rev;
     timings = List.rev t.timings_rev;
-    elapsed }
+    elapsed;
+    status }
 
 let collect f =
   let t = create () in
+  (* any guard exhaustion during the driver means some solver stopped
+     early and the numbers are best-effort, not exact *)
+  let exhausted_before = Engine.Telemetry.counter "guard.exhausted" in
   let t0 = Unix.gettimeofday () in
   f t;
-  result ~elapsed:(Unix.gettimeofday () -. t0) t
+  let status =
+    if Engine.Telemetry.counter "guard.exhausted" > exhausted_before then
+      "partial"
+    else "exact"
+  in
+  result ~elapsed:(Unix.gettimeofday () -. t0) ~status t
 
 let pad width s align =
   let n = String.length s in
@@ -57,6 +67,9 @@ let render fmt r =
   (match r.banner with
    | Some (id, title) -> Format.fprintf fmt "@.=== %s: %s ===@." id title
    | None -> ());
+  if r.status <> "exact" then
+    Format.fprintf fmt "(status: %s — a resource guard stopped a solver early)@."
+      r.status;
   List.iter
     (fun cells -> Format.fprintf fmt "%s@." (String.concat "  " cells))
     r.rows
@@ -101,5 +114,6 @@ let to_json r =
     | None -> "null"
   in
   Printf.sprintf
-    "{\"banner\": %s, \"rows\": [%s], \"timings\": {%s}, \"elapsed\": %.6f}"
-    banner rows timings r.elapsed
+    "{\"banner\": %s, \"rows\": [%s], \"timings\": {%s}, \"elapsed\": %.6f, \
+     \"status\": %s}"
+    banner rows timings r.elapsed (json_string r.status)

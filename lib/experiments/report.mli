@@ -13,6 +13,10 @@ type result = {
   timings : (string * float) list;
       (** labelled sub-step wall times recorded with {!timed_into} *)
   elapsed : float;  (** total wall-clock seconds of the run *)
+  status : string;
+      (** ["exact"] when every solver ran to completion; ["partial"] when
+          a resource guard (deadline / fuel / injected fault) stopped one
+          early, detected via the ["guard.exhausted"] telemetry delta *)
 }
 
 type t
@@ -31,10 +35,11 @@ val row : t -> string list -> unit
 val timing : t -> string -> float -> unit
 (** Record a labelled sub-step wall time. *)
 
-val result : ?elapsed:float -> t -> result
+val result : ?elapsed:float -> ?status:string -> t -> result
 val collect : (t -> unit) -> result
 (** Run a driver against a fresh builder and package the result,
-    measuring [elapsed]. *)
+    measuring [elapsed] and deriving [status] from the guard-exhaustion
+    telemetry delta across the run. *)
 
 val render : Format.formatter -> result -> unit
 (** The classic text rendering (banner line, then rows). *)

@@ -26,8 +26,11 @@ let frontier dfg allowed set =
     set;
   !out
 
-let connected ?(constraints = Isa.Hw_model.default_constraints)
+let connected ?guard ?(constraints = Isa.Hw_model.default_constraints)
     ?(budget = default_budget) ?allowed dfg =
+  let guard =
+    match guard with Some g -> g | None -> Engine.Guard.default ()
+  in
   let n = Ir.Dfg.node_count dfg in
   Engine.Trace.with_span "enumerate.connected"
     ~attrs:[ ("nodes", string_of_int n) ]
@@ -53,10 +56,14 @@ let connected ?(constraints = Isa.Hw_model.default_constraints)
   let results = ref [] in
   let emitted = ref 0 in
   let explored = ref 0 in
+  (* one fuel unit per expansion — the same granularity as
+     [budget.max_explored], but shared across calls when the caller
+     passes one guard for a whole sweep *)
   while
     (not (Queue.is_empty queue))
     && !explored < budget.max_explored
     && !emitted < budget.max_candidates
+    && Engine.Guard.tick guard
   do
     let set = Queue.pop queue in
     incr explored;
@@ -125,8 +132,8 @@ let max_miso ?(constraints = Isa.Hw_model.default_constraints) dfg =
   done;
   List.rev !patterns
 
-let best_single_cut ?constraints ?(budget = default_budget) ~allowed dfg =
-  let candidates = connected ?constraints ~budget ~allowed dfg in
+let best_single_cut ?guard ?constraints ?(budget = default_budget) ~allowed dfg =
+  let candidates = connected ?guard ?constraints ~budget ~allowed dfg in
   List.fold_left
     (fun best ci ->
       match best with

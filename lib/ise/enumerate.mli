@@ -19,6 +19,7 @@ val small_budget : budget
 (** A cheaper budget for the fast paths of iterative algorithms. *)
 
 val connected :
+  ?guard:Engine.Guard.t ->
   ?constraints:Isa.Hw_model.constraints ->
   ?budget:budget ->
   ?allowed:Util.Bitset.t ->
@@ -26,7 +27,15 @@ val connected :
   Isa.Custom_inst.t list
 (** All connected candidates with strictly positive gain, each node drawn
     from [allowed] (default: every node).  Deduplicated; order is
-    breadth-first by size. *)
+    breadth-first by size.
+
+    The search is anytime by construction (it accumulates candidates
+    breadth-first), so on top of [budget]'s structural caps it spends
+    one [guard] fuel unit per expansion and simply stops early — with
+    the candidates found so far — when the guard is exhausted.  [guard]
+    defaults to {!Engine.Guard.default} (the CLI's [--deadline] /
+    [--max-nodes] budget); pass one explicitly to share a budget across
+    a whole enumeration sweep. *)
 
 val max_miso :
   ?constraints:Isa.Hw_model.constraints ->
@@ -37,6 +46,7 @@ val max_miso :
     MaxMISO algorithm the thesis cites). *)
 
 val best_single_cut :
+  ?guard:Engine.Guard.t ->
   ?constraints:Isa.Hw_model.constraints ->
   ?budget:budget ->
   allowed:Util.Bitset.t ->

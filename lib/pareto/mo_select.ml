@@ -17,49 +17,73 @@ let normalise entities =
 (* Group knapsack: one option per entity, maximise Σ delta subject to a
    per-option cost function and a cell count.  Returns, per cost cell,
    the best delta and the true (untransformed) cost of a solution
-   achieving it. *)
-let group_knapsack entities ~cells ~scaled_cost =
+   achieving it.
+
+   The guard is ticked once per entity, weighted by the row width (the
+   DP's actual work), and an exhausted guard stops the fold between
+   entities.  The prefix DP is still sound: every cell holds a choice
+   over the processed entities only, and [normalise] gives each entity
+   a zero option, so those partial solutions remain achievable — they
+   are just possibly dominated by full ones. *)
+let group_knapsack ?guard entities ~cells ~scaled_cost =
   let best = Array.make (cells + 1) neg_infinity in
   let true_cost = Array.make (cells + 1) 0 in
   best.(0) <- 0.;
-  List.iter
-    (fun entity ->
-      let next = Array.make (cells + 1) neg_infinity in
-      let next_cost = Array.make (cells + 1) 0 in
-      for cell = 0 to cells do
-        if best.(cell) > neg_infinity then
-          Array.iter
-            (fun o ->
-              let c = cell + scaled_cost o in
-              if c <= cells then begin
-                let d = best.(cell) +. o.delta in
-                if d > next.(c) then begin
-                  next.(c) <- d;
-                  next_cost.(c) <- true_cost.(cell) + o.cost
-                end
-              end)
-            entity
-      done;
-      Array.blit next 0 best 0 (cells + 1);
-      Array.blit next_cost 0 true_cost 0 (cells + 1))
-    entities;
+  let rec process = function
+    | [] -> ()
+    | entity :: rest ->
+      let row_ok =
+        match guard with
+        | None -> true
+        | Some g -> Engine.Guard.tick ~cost:(1 + cells) g
+      in
+      if row_ok then begin
+        let next = Array.make (cells + 1) neg_infinity in
+        let next_cost = Array.make (cells + 1) 0 in
+        for cell = 0 to cells do
+          if best.(cell) > neg_infinity then
+            Array.iter
+              (fun o ->
+                let c = cell + scaled_cost o in
+                if c <= cells then begin
+                  let d = best.(cell) +. o.delta in
+                  if d > next.(c) then begin
+                    next.(c) <- d;
+                    next_cost.(c) <- true_cost.(cell) + o.cost
+                  end
+                end)
+              entity
+        done;
+        Array.blit next 0 best 0 (cells + 1);
+        Array.blit next_cost 0 true_cost 0 (cells + 1);
+        process rest
+      end
+  in
+  process entities;
   (best, true_cost)
 
-let exact_front ~base entities =
+let exact_front_guarded ?guard ~base entities =
+  let guard =
+    match guard with Some g -> g | None -> Engine.Guard.default ()
+  in
   let entities = normalise entities in
   let total =
     Util.Numeric.sum_by
       (fun e -> Array.fold_left (fun acc o -> max acc o.cost) 0 e)
       entities
   in
-  let best, _ = group_knapsack entities ~cells:total ~scaled_cost:(fun o -> o.cost) in
+  let best, _ =
+    group_knapsack ~guard entities ~cells:total ~scaled_cost:(fun o -> o.cost)
+  in
   let points = ref [] in
   Array.iteri
     (fun cost d ->
       if d > neg_infinity then
         points := { Util.Pareto_front.cost; value = base -. d } :: !points)
     best;
-  Util.Pareto_front.front !points
+  (Util.Pareto_front.front !points, Engine.Guard.status guard)
+
+let exact_front ~base entities = fst (exact_front_guarded ~base entities)
 
 let count_options entities =
   Util.Numeric.sum_by Array.length entities

@@ -26,7 +26,22 @@ type entity = option_ array
     added automatically if absent (not choosing is always possible). *)
 
 val exact_front : base:float -> entity list -> Util.Pareto_front.point list
-(** The exact cost/value Pareto curve.  Runtime O(#options · Σmax-cost). *)
+(** The exact cost/value Pareto curve.  Runtime O(#options · Σmax-cost).
+    Subject to the process-wide {!Engine.Guard.default_spec} budget —
+    see {!exact_front_guarded} for what an early stop returns. *)
+
+val exact_front_guarded :
+  ?guard:Engine.Guard.t ->
+  base:float ->
+  entity list ->
+  Util.Pareto_front.point list * Engine.Guard.status
+(** {!exact_front} under an explicit resource guard (default:
+    {!Engine.Guard.default}).  The DP spends guard fuel proportional to
+    each entity row's width; on exhaustion it stops between entities
+    and returns the front of the entities processed so far with status
+    [Partial] — every returned point is still an achievable solution
+    (the skipped entities take their zero option), but the front may be
+    dominated by the exact one. *)
 
 val gap :
   eps:float ->

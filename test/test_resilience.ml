@@ -1,0 +1,320 @@
+(* Resilience tests: anytime degradation under resource guards (fuel
+   and wall-clock), fault injection through the cache and the parallel
+   runner, and crash isolation in experiment sweeps. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let curve base pts = Isa.Config.of_points ~base_cycles:base pts
+let task name period base pts = Rt.Task.make ~name ~period (curve base pts)
+
+let pairs_of (sel : Core.Selection.t) =
+  List.map
+    (fun ((t : Rt.Task.t), (p : Isa.Config.point)) -> (p.cycles, t.period))
+    sel.assignment
+
+(* Six lightly-loaded tasks: the software assignment already schedules,
+   so a depth-first dive reaches an incumbent within a handful of
+   nodes. *)
+let small_tasks () =
+  List.init 6 (fun i ->
+      task
+        (Printf.sprintf "t%d" i)
+        (100 + (7 * i))
+        10
+        [ { Isa.Config.area = 1; cycles = 8 };
+          { Isa.Config.area = 2; cycles = 6 };
+          { Isa.Config.area = 3; cycles = 4 } ])
+
+(* Twelve tasks x four configurations, everything schedulable and
+   in-budget, so with bound pruning disabled the branch-and-bound faces
+   the full 4^12-leaf tree — pathological on purpose. *)
+let pathological_tasks () =
+  List.init 12 (fun i ->
+      task
+        (Printf.sprintf "p%d" i)
+        (1000 + (13 * i))
+        5
+        [ { Isa.Config.area = 1; cycles = 4 };
+          { Isa.Config.area = 2; cycles = 3 };
+          { Isa.Config.area = 3; cycles = 2 } ])
+
+(* ------------------------------ guard ------------------------------ *)
+
+let test_tight_fuel_partial_incumbent () =
+  let tasks = small_tasks () in
+  let budget = 100 in
+  (* bound pruning off: the dive still reaches a leaf (an incumbent)
+     within the first ~6 nodes, but the 5461-node tree dwarfs the fuel *)
+  let got, stats =
+    Core.Rms_select.run_instrumented
+      ~guard:(Engine.Guard.create ~fuel:10 ())
+      ~use_bound:false ~budget tasks
+  in
+  (match stats.Core.Rms_select.status with
+   | Engine.Guard.Partial (Engine.Guard.Fuel 10) -> ()
+   | s -> Alcotest.failf "expected fuel exhaustion, got %s"
+            (Engine.Guard.string_of_status s));
+  match got with
+  | None -> Alcotest.fail "no incumbent despite a reachable leaf"
+  | Some inc ->
+    check bool "incumbent within budget" true (inc.Core.Selection.area <= budget);
+    check bool "incumbent RMS-schedulable" true
+      (Check.Oracle.response_time_schedulable (pairs_of inc));
+    (* re-run unbounded: the true optimum can only be at least as good *)
+    (match Core.Rms_select.run ~budget tasks with
+     | None -> Alcotest.fail "unbounded run found no optimum"
+     | Some opt ->
+       check bool "incumbent never beats the optimum" true
+         (opt.Core.Selection.utilization
+          <= inc.Core.Selection.utilization +. 1e-9))
+
+let test_fuel_partial_is_reproducible () =
+  let tasks = pathological_tasks () in
+  let budget = 1000 in
+  let run () =
+    Core.Rms_select.run_instrumented
+      ~guard:(Engine.Guard.create ~fuel:50_000 ())
+      ~use_bound:false ~budget tasks
+  in
+  let sel1, stats1 = run () in
+  let sel2, stats2 = run () in
+  check bool "same incumbent" true (sel1 = sel2);
+  check int "same nodes explored" stats1.Core.Rms_select.explored
+    stats2.Core.Rms_select.explored;
+  check bool "both partial" true
+    (stats1.Core.Rms_select.status <> Engine.Guard.Exact
+     && stats1.Core.Rms_select.status = stats2.Core.Rms_select.status)
+
+let test_deadline_stops_pathological_search () =
+  let tasks = pathological_tasks () in
+  let exhausted_before = Engine.Telemetry.counter "guard.exhausted" in
+  let t0 = Unix.gettimeofday () in
+  let got, stats =
+    Core.Rms_select.run_instrumented
+      ~guard:(Engine.Guard.create ~deadline_s:0.25 ())
+      ~use_bound:false ~budget:1000 tasks
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check bool "stopped promptly (well under the unguarded runtime)" true
+    (elapsed < 20.);
+  (match stats.Core.Rms_select.status with
+   | Engine.Guard.Partial (Engine.Guard.Deadline _) -> ()
+   | s -> Alcotest.failf "expected deadline exhaustion, got %s"
+            (Engine.Guard.string_of_status s));
+  check bool "guard.exhausted counted" true
+    (Engine.Telemetry.counter "guard.exhausted" > exhausted_before);
+  match got with
+  | None -> Alcotest.fail "no incumbent after 0.25s on a feasible instance"
+  | Some inc ->
+    check bool "incumbent schedulable" true
+      (Check.Oracle.response_time_schedulable (pairs_of inc))
+
+let test_guarded_pareto_front_is_achievable () =
+  let entities =
+    List.init 5 (fun _ ->
+        [| { Pareto.Mo_select.delta = 1.; cost = 1 };
+           { Pareto.Mo_select.delta = 2.; cost = 3 } |])
+  in
+  let base = 20. in
+  (* the DP ticks (1 + cells) fuel per entity row; enough for two rows *)
+  let cells = 5 * 3 in
+  let guard = Engine.Guard.create ~fuel:(2 * (1 + cells)) () in
+  let partial, status =
+    Pareto.Mo_select.exact_front_guarded ~guard ~base entities
+  in
+  (match status with
+   | Engine.Guard.Partial (Engine.Guard.Fuel _) -> ()
+   | s -> Alcotest.failf "expected fuel exhaustion, got %s"
+            (Engine.Guard.string_of_status s));
+  check bool "partial front is nonempty" true (partial <> []);
+  let exact = Pareto.Mo_select.exact_front ~base entities in
+  (* every partial point is achievable, so some exact point dominates it *)
+  List.iter
+    (fun (p : Util.Pareto_front.point) ->
+      check bool
+        (Printf.sprintf "point (%d, %.1f) dominated by the exact front"
+           p.cost p.value)
+        true
+        (List.exists
+           (fun (q : Util.Pareto_front.point) ->
+             q.cost <= p.cost && q.value <= p.value +. 1e-9)
+           exact))
+    partial
+
+let test_guarded_enumeration_is_prefix () =
+  match Kernels.find_opt "adpcm_enc" with
+  | None -> Alcotest.fail "adpcm_enc kernel missing"
+  | Some cfg ->
+    let blocks = Ir.Cfg.blocks cfg in
+    let big =
+      List.fold_left
+        (fun acc (b : Ir.Cfg.block) ->
+          if Ir.Dfg.node_count b.Ir.Cfg.body > Ir.Dfg.node_count acc.Ir.Cfg.body
+          then b
+          else acc)
+        (List.hd blocks) blocks
+    in
+    let constraints = Isa.Hw_model.default_constraints in
+    let all = Ise.Enumerate.connected ~constraints big.Ir.Cfg.body in
+    let some =
+      Ise.Enumerate.connected
+        ~guard:(Engine.Guard.create ~fuel:3 ())
+        ~constraints big.Ir.Cfg.body
+    in
+    check bool "guarded enumeration finds fewer candidates" true
+      (List.length some < List.length all);
+    check bool "guarded candidates are a subset" true
+      (List.for_all (fun c -> List.mem c all) some)
+
+(* ------------------------------ fault ------------------------------ *)
+
+let with_fault_spec spec_string f =
+  (match Engine.Fault.parse spec_string with
+   | Ok spec -> Engine.Fault.configure spec
+   | Error msg -> Alcotest.failf "bad fault spec %S: %s" spec_string msg);
+  Fun.protect ~finally:Engine.Fault.disable f
+
+let with_scratch_cache f =
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "isecustom-test-resilience-%d" (Unix.getpid ()))
+  in
+  let saved_dir = Engine.Cache.dir () in
+  let saved_enabled = Engine.Cache.enabled () in
+  let saved_level = Engine.Log.level () in
+  Engine.Log.set_level Engine.Log.Error;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Log.set_level saved_level;
+      ignore (Engine.Cache.clear ());
+      (try Unix.rmdir tmp with Unix.Unix_error _ | Sys_error _ -> ());
+      Engine.Cache.set_dir saved_dir;
+      Engine.Cache.set_enabled saved_enabled)
+    (fun () ->
+      Engine.Cache.set_dir tmp;
+      Engine.Cache.set_enabled true;
+      f ())
+
+let test_injected_truncation_reads_as_corrupt () =
+  with_scratch_cache @@ fun () ->
+  let value = [ "torn"; "write" ] in
+  with_fault_spec "seed=5,cache.truncate=1x1" (fun () ->
+      Engine.Cache.store ~namespace:"resilience" ~key:"t" value;
+      check int "truncation fired" 1 (Engine.Fault.fired "cache.truncate");
+      let corrupt_before = Engine.Telemetry.counter "cache.corrupt" in
+      check bool "torn entry reads as a miss" true
+        (Engine.Cache.find ~namespace:"resilience" ~key:"t" () = None);
+      check bool "torn entry counted as corruption" true
+        (Engine.Telemetry.counter "cache.corrupt" > corrupt_before);
+      (* recompute-and-store repairs the entry (the fire cap is spent) *)
+      Engine.Cache.store ~namespace:"resilience" ~key:"t" value;
+      check bool "repaired entry reads back" true
+        (Engine.Cache.find ~namespace:"resilience" ~key:"t" () = Some value))
+
+let test_injected_write_failure_degrades () =
+  with_scratch_cache @@ fun () ->
+  with_fault_spec "seed=6,cache.write=1x1" (fun () ->
+      let failed_before = Engine.Telemetry.counter "cache.write_failed" in
+      (* must not raise: the cache degrades to in-memory-only *)
+      Engine.Cache.store ~namespace:"resilience" ~key:"w" [ 1; 2 ];
+      check bool "write failure counted" true
+        (Engine.Telemetry.counter "cache.write_failed" > failed_before);
+      check bool "no tmp file leaked" true
+        (Sys.readdir (Engine.Cache.dir ())
+         |> Array.for_all (fun f ->
+                not (String.length f > 4 && String.sub f 0 4 = ".tmp")
+                && not
+                     (Filename.check_suffix f
+                        (Printf.sprintf ".tmp.%d" (Unix.getpid ()))))))
+
+let test_map_result_retries_transient_crash () =
+  with_fault_spec "seed=9,parallel.worker=1x1" (fun () ->
+      let recovered_before = Engine.Telemetry.counter "parallel.recovered" in
+      let outcomes =
+        Engine.Parallel.map_result ~jobs:1 ~attempts:2
+          (fun x -> x * 10)
+          [ 1; 2; 3 ]
+      in
+      check bool "all items recovered" true
+        (outcomes = [ Ok 10; Ok 20; Ok 30 ]);
+      check int "crash fired once" 1 (Engine.Fault.fired "parallel.worker");
+      check bool "recovery counted" true
+        (Engine.Telemetry.counter "parallel.recovered" > recovered_before))
+
+let test_map_result_isolates_permanent_failure () =
+  let outcomes =
+    Engine.Parallel.map_result ~jobs:2 ~attempts:2
+      (fun x -> if x = 2 then failwith "permanently broken" else x * 10)
+      [ 1; 2; 3 ]
+  in
+  match outcomes with
+  | [ Ok 10; Error e; Ok 30 ] ->
+    check int "both attempts spent" 2 e.Engine.Parallel.attempts;
+    check bool "message preserved" true
+      (String.length e.Engine.Parallel.message > 0)
+  | _ -> Alcotest.fail "permanent failure not isolated to its item"
+
+let test_fault_selftest_passes () =
+  match Check.Runner.fault_selftest () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "fault selftest: %s" msg
+
+(* ------------------------------ sweep ------------------------------ *)
+
+let test_sweep_isolates_failing_experiment () =
+  let ok id =
+    { Experiments.Registry.id;
+      title = id;
+      run =
+        (fun () ->
+          Experiments.Report.collect (fun t ->
+              Experiments.Report.row t [ id ])) }
+  in
+  let boom =
+    { Experiments.Registry.id = "boom";
+      title = "always fails";
+      run = (fun () -> failwith "experiment crashed") }
+  in
+  let saved_level = Engine.Log.level () in
+  Engine.Log.set_level Engine.Log.Error;
+  Fun.protect ~finally:(fun () -> Engine.Log.set_level saved_level)
+  @@ fun () ->
+  match Experiments.Registry.run_sweep [ ok "a"; boom; ok "b" ] with
+  | [ (_, Ok ra); (_, Error msg); (_, Ok rb) ] ->
+    check bool "first experiment ran" true
+      (ra.Experiments.Report.rows = [ [ "a" ] ]);
+    check bool "last experiment still ran" true
+      (rb.Experiments.Report.rows = [ [ "b" ] ]);
+    check bool "failure message preserved" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "sweep did not isolate the failing experiment"
+
+let () =
+  Alcotest.run "resilience"
+    [ ( "guard",
+        [ Alcotest.test_case "tight fuel: sound partial incumbent" `Quick
+            test_tight_fuel_partial_incumbent;
+          Alcotest.test_case "fuel partials are reproducible" `Quick
+            test_fuel_partial_is_reproducible;
+          Alcotest.test_case "deadline stops a pathological search" `Quick
+            test_deadline_stops_pathological_search;
+          Alcotest.test_case "guarded Pareto front is achievable" `Quick
+            test_guarded_pareto_front_is_achievable;
+          Alcotest.test_case "guarded enumeration is a prefix" `Quick
+            test_guarded_enumeration_is_prefix ] );
+      ( "fault",
+        [ Alcotest.test_case "injected truncation reads as corrupt" `Quick
+            test_injected_truncation_reads_as_corrupt;
+          Alcotest.test_case "injected write failure degrades" `Quick
+            test_injected_write_failure_degrades;
+          Alcotest.test_case "map_result retries a transient crash" `Quick
+            test_map_result_retries_transient_crash;
+          Alcotest.test_case "map_result isolates a permanent failure" `Quick
+            test_map_result_isolates_permanent_failure;
+          Alcotest.test_case "fault selftest passes" `Quick
+            test_fault_selftest_passes ] );
+      ( "sweep",
+        [ Alcotest.test_case "one failing experiment does not abort" `Quick
+            test_sweep_isolates_failing_experiment ] ) ]
