@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench fuzz faults clean
+.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults clean
 
 all: build
 
@@ -27,6 +27,21 @@ check: build fmt test
 # BENCH_engine.json is missing any expected key.
 bench:
 	dune exec bench/main.exe -- engine
+
+# Batch-service benchmark: 200-request stream with 4x duplication,
+# batched answers diffed against the sequential reference; exits
+# non-zero on any byte difference or a cold hit-rate below 50%.
+batch-bench: build
+	dune exec bench/main.exe -- batch
+
+# Regenerate the golden corpus (test/golden/) after a *deliberate*
+# output change: re-emit the request set, then record the sequential
+# solver's responses as the new expected outputs.  Review the diff —
+# test_golden exists to make silent drift loud.
+golden-update: build
+	dune exec test/golden_gen.exe > test/golden/cases.jsonl
+	dune exec bin/isecustom.exe -- batch --no-cache --sequential \
+	  --out test/golden/expected.jsonl test/golden/cases.jsonl
 
 # Property-based differential fuzzing (lib/check): every solver vs its
 # brute-force oracle on SEED-replayable random instances, BUDGET cases

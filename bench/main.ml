@@ -12,7 +12,9 @@ let usage () =
       Format.printf "  %-8s %s@." e.id e.title)
     Experiments.Registry.all;
   Format.printf "  %-8s %s@." "engine"
-    "curve-generation engine: cold/warm cache, 1 vs N domains (BENCH_engine.json)"
+    "curve-generation engine: cold/warm cache, 1 vs N domains (BENCH_engine.json)";
+  Format.printf "  %-8s %s@." "batch"
+    "batch solver service: dedup/memo hit-rate vs sequential (BENCH_engine.json)"
 
 let run_one (e : Experiments.Registry.experiment) =
   let result = e.run () in
@@ -56,20 +58,21 @@ let bench_keys =
     "curve_latency"; "p50_s"; "p90_s"; "p99_s"; "max_s"; "status";
     "telemetry"; "histograms" ]
 
-let validate_bench_json path =
+let read_file path =
   let ic = open_in path in
-  let content =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let validate_bench_json ?(keys = bench_keys) path =
+  let content = read_file path in
   let has key =
     let needle = "\"" ^ key ^ "\"" in
     let n = String.length content and m = String.length needle in
     let rec scan i = i + m <= n && (String.sub content i m = needle || scan (i + 1)) in
     scan 0
   in
-  match List.filter (fun k -> not (has k)) bench_keys with
+  match List.filter (fun k -> not (has k)) keys with
   | [] -> ()
   | missing ->
     Format.eprintf "engine bench: %s is missing expected key%s: %s@." path
@@ -170,8 +173,105 @@ let engine_bench () =
   Format.fprintf fmt "[engine timings written to BENCH_engine.json]@.";
   Format.pp_print_flush fmt ()
 
+(* The batch-service benchmark: a 200-request stream with 4x
+   duplication, answered sequentially and then through the batching
+   service (cold, then memo-warm).  The three answer sets must be
+   byte-identical — the bench doubles as the large-stream acceptance
+   check — and the cold hit-rate must clear 50%.  Results merge into
+   BENCH_engine.json under a "batch" key, preserving whatever the
+   engine bench wrote. *)
+let batch_keys =
+  [ "batch"; "requests"; "unique"; "groups"; "dedup_hits"; "memo_hits";
+    "swept"; "hit_rate"; "sequential_s"; "batch_cold_s"; "batch_warm_s";
+    "batch_speedup"; "warm_speedup" ]
+
+let merge_batch_json path batch =
+  let existing =
+    if Sys.file_exists path then
+      match Check.Repro.parse (read_file path) with
+      | Check.Repro.Obj fields -> fields
+      | _ | (exception Check.Repro.Parse_error _) ->
+        Format.eprintf "batch bench: %s is not a JSON object; rewriting@." path;
+        []
+    else []
+  in
+  let fields =
+    List.filter (fun (k, _) -> k <> "batch") existing @ [ ("batch", batch) ]
+  in
+  let oc = open_out path in
+  output_string oc (Check.Repro.to_string (Check.Repro.Obj fields));
+  output_string oc "\n";
+  close_out oc
+
+let batch_bench () =
+  let module P = Batch.Protocol in
+  let module S = Batch.Service in
+  let uniques =
+    List.concat_map
+      (fun i ->
+        let inst = Check.Gen.instance (Util.Prng.create (100 + i)) in
+        List.map
+          (fun op -> (op, inst))
+          [ P.Edf; P.Rms; P.Pareto_exact; P.Pareto_approx; P.Curve ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  let requests =
+    List.mapi
+      (fun i (op, instance) -> { P.id = Printf.sprintf "b%03d" i; op; instance })
+      (uniques @ uniques @ uniques @ uniques)
+  in
+  let jobs = max 2 (Engine.Parallel.default_jobs ()) in
+  Format.fprintf fmt "@.=== batch: %d requests (4x duplication), %d jobs ===@."
+    (List.length requests) jobs;
+  let seq_lines, seq_s =
+    Experiments.Report.timed (fun () -> List.map S.respond requests)
+  in
+  let memo = Engine.Memo.create ~shards:8 ~spill:false ~namespace:"bench" () in
+  let (cold_lines, cold_stats), cold_s =
+    Experiments.Report.timed (fun () -> S.run ~jobs ~memo requests)
+  in
+  let (warm_lines, warm_stats), warm_s =
+    Experiments.Report.timed (fun () -> S.run ~jobs ~memo requests)
+  in
+  if cold_lines <> seq_lines || warm_lines <> seq_lines then begin
+    Format.eprintf
+      "batch bench: batched responses differ from the sequential reference@.";
+    exit 2
+  end;
+  let rate = S.hit_rate cold_stats in
+  Format.fprintf fmt "sequential            %8.2f s@." seq_s;
+  Format.fprintf fmt "batch, cold           %8.2f s  (%.2fx)  %a@." cold_s
+    (seq_s /. Float.max 1e-9 cold_s) S.pp_stats cold_stats;
+  Format.fprintf fmt "batch, memo-warm      %8.2f s  (%.2fx)  %a@." warm_s
+    (seq_s /. Float.max 1e-9 warm_s) S.pp_stats warm_stats;
+  if rate < 0.5 then begin
+    Format.eprintf "batch bench: cold hit-rate %.2f below the 0.5 floor@." rate;
+    exit 2
+  end;
+  let num f = Check.Repro.Num f and numi i = Check.Repro.Num (float_of_int i) in
+  merge_batch_json "BENCH_engine.json"
+    (Check.Repro.Obj
+       [ ("requests", numi cold_stats.S.requests);
+         ("unique", numi cold_stats.S.unique);
+         ("groups", numi cold_stats.S.groups);
+         ("dedup_hits", numi cold_stats.S.dedup_hits);
+         ("memo_hits", numi cold_stats.S.memo_hits);
+         ("swept", numi cold_stats.S.swept);
+         ("hit_rate", num rate);
+         ("warm_memo_hits", numi warm_stats.S.memo_hits);
+         ("jobs", numi jobs);
+         ("sequential_s", num seq_s);
+         ("batch_cold_s", num cold_s);
+         ("batch_warm_s", num warm_s);
+         ("batch_speedup", num (seq_s /. Float.max 1e-9 cold_s));
+         ("warm_speedup", num (seq_s /. Float.max 1e-9 warm_s)) ]);
+  validate_bench_json ~keys:batch_keys "BENCH_engine.json";
+  Format.fprintf fmt "[batch counters merged into BENCH_engine.json]@.";
+  Format.pp_print_flush fmt ()
+
 let run_id id =
   if id = "engine" then engine_bench ()
+  else if id = "batch" then batch_bench ()
   else
     match Experiments.Registry.find id with
     | Some e -> run_one e
@@ -187,6 +287,7 @@ let () =
                    real-time embedded systems (DATE 2007)@.";
     let all_ok = run_all () in
     engine_bench ();
+    batch_bench ();
     if not all_ok then exit 1
   | _ :: [ "--list" ] -> usage ()
   | _ :: ids -> List.iter run_id ids

@@ -11,6 +11,9 @@
      stats <id>                   run an experiment and print its span tree,
                                   histogram percentiles and telemetry
      cache show|clear             inspect / empty the persistent curve cache
+     batch <requests.jsonl>       answer a JSONL stream of solver requests with
+                                  structural dedup, budget-sweep sharing and
+                                  sharded memo tables
      check [replay F | selftest | faults]
                                   property-based differential testing of the
                                   solver stack against brute-force oracles;
@@ -492,6 +495,111 @@ let cache_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let batch_cmd =
+  let file_arg =
+    let doc =
+      "Request stream, one JSON object per line \
+       ($(b,{\"id\": ..., \"op\": ..., \"instance\": ...})); $(b,-) reads \
+       standard input."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUESTS" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shards of the in-memory memo table." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write response lines to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let sequential_arg =
+    let doc =
+      "Answer requests one at a time (the reference path): no dedup, no \
+       sweep grouping, no memo.  Byte-identical to the batched answers — \
+       that is the service's central invariant."
+    in
+    Arg.(value & flag & info [ "sequential" ] ~doc)
+  in
+  let read_lines ic =
+    let rec go acc =
+      match input_line ic with
+      | line -> go (if String.trim line = "" then acc else line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let run obs no_cache stats_flag jobs shards out_file sequential file =
+    apply_no_cache no_cache;
+    let lines =
+      if file = "-" then read_lines stdin
+      else if not (Sys.file_exists file) then begin
+        Format.eprintf "no such file: %s@." file;
+        exit 2
+      end
+      else begin
+        let ic = open_in file in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ic)
+      end
+    in
+    let indexed = List.mapi (fun i line -> (i, Batch.Protocol.parse_request line)) lines in
+    let oks = List.filter_map (function i, Ok r -> Some (i, r) | _ -> None) indexed in
+    let jobs = Option.value jobs ~default:1 in
+    let answered, stats =
+      if sequential then
+        (List.map (fun (i, r) -> (i, Batch.Service.respond r)) oks, None)
+      else begin
+        let memo = Engine.Memo.create ~shards ~namespace:"batch" () in
+        let out, stats = Batch.Service.run ~jobs ~memo (List.map snd oks) in
+        (List.map2 (fun (i, _) line -> (i, line)) oks out, Some stats)
+      end
+    in
+    let responses =
+      List.map
+        (function
+          | i, Ok _ -> List.assoc i answered
+          | i, Error msg ->
+            Check.Repro.(
+              to_string
+                (Obj
+                   [ ("line", Num (float_of_int (i + 1))); ("error", Str msg) ])))
+        indexed
+    in
+    let emit oc = List.iter (fun l -> output_string oc l; output_char oc '\n') responses in
+    (match out_file with
+     | None -> emit stdout
+     | Some f ->
+       let oc = open_out f in
+       Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> emit oc));
+    Option.iter (fun s -> Format.eprintf "%a@." Batch.Service.pp_stats s) stats;
+    (* responses own stdout, so the telemetry dump goes to stderr here *)
+    if stats_flag then begin
+      Format.eprintf "@.--- telemetry ---@.";
+      Engine.Telemetry.pp_table Format.err_formatter ();
+      Format.eprintf "@.--- histograms ---@.";
+      Engine.Histogram.pp_table Format.err_formatter ()
+    end;
+    obs_finish obs;
+    let errors = List.length indexed - List.length oks in
+    if errors > 0 then begin
+      Format.eprintf "%d request line%s could not be parsed@." errors
+        (if errors = 1 then "" else "s");
+      exit 1
+    end;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Answer a JSONL stream of solver requests as one batch: \
+             canonicalize and hash every request, dedup exact duplicates, \
+             share one DP across each budget sweep, run groups on the \
+             domain pool against sharded memo tables spilling to the \
+             persistent cache.")
+    Term.(
+      const run $ obs_term $ no_cache_arg $ stats_arg $ jobs_arg $ shards_arg
+      $ out_arg $ sequential_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let check_cmd =
   let seed_arg =
     let doc = "Seed for the deterministic generators; equal seeds replay \
@@ -504,8 +612,8 @@ let check_cmd =
   in
   let suite_arg =
     let doc =
-      "Restrict to one suite (repeatable): select, sched, pareto, curve or \
-       engine."
+      "Restrict to one suite (repeatable): select, sched, pareto, curve, \
+       engine or batch."
     in
     Arg.(value & opt_all string [] & info [ "suite" ] ~docv:"SUITE" ~doc)
   in
@@ -523,24 +631,30 @@ let check_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ACTION" ~doc)
   in
   let run obs seed budget suites repro_dir action =
-    let unknown =
-      List.filter (fun s -> not (List.mem s Check.Prop.suites)) suites
-    in
+    (* the batch properties live above lib/check in the library graph,
+       so the composition happens here *)
+    let all_props = Check.Prop.all @ Batch.Props.all in
+    let all_suites = Check.Prop.suites @ [ "batch" ] in
+    let unknown = List.filter (fun s -> not (List.mem s all_suites)) suites in
     if unknown <> [] then begin
       Format.eprintf "unknown suite%s %s; available: %s@."
         (if List.length unknown = 1 then "" else "s")
         (String.concat ", " unknown)
-        (String.concat ", " Check.Prop.suites);
+        (String.concat ", " all_suites);
       exit 1
     end;
+    let props =
+      if suites = [] then all_props
+      else List.filter (fun (p : Check.Prop.t) -> List.mem p.suite suites) all_props
+    in
     let config = { Check.Runner.seed; budget; suites; repro_dir } in
     let status =
       match action with
       | [] ->
-        let summary = Check.Runner.run ~fmt config in
+        let summary = Check.Runner.run ~fmt ~props config in
         if Check.Runner.ok summary then 0 else 1
       | [ "replay"; file ] ->
-        (match Check.Runner.replay ~fmt file with
+        (match Check.Runner.replay ~fmt ~props:all_props file with
          | Ok true -> 0
          | Ok false -> 1
          | Error msg ->
@@ -588,4 +702,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
-            dot_cmd; experiment_cmd; profile_cmd; cache_cmd; check_cmd ]))
+            dot_cmd; experiment_cmd; profile_cmd; cache_cmd; batch_cmd;
+            check_cmd ]))

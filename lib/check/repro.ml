@@ -59,7 +59,15 @@ let parse (s : string) : json =
          | Some 'u' ->
            advance ();
            if !pos + 4 > n then fail "truncated \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           let hex = String.sub s !pos 4 in
+           let is_hex = function
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+             | _ -> false
+           in
+           (* validate before int_of_string: it accepts '_' and '+' and
+              raises Failure (not Parse_error) on garbage *)
+           if not (String.for_all is_hex hex) then fail "malformed \\u escape";
+           let code = int_of_string ("0x" ^ hex) in
            pos := !pos + 4;
            (* repro content is ASCII; anything else round-trips as '?' *)
            Buffer.add_char buf (if code < 128 then Char.chr code else '?')
@@ -156,8 +164,13 @@ let field obj key =
      | None -> raise (Parse_error ("missing field " ^ key)))
   | _ -> raise (Parse_error ("expected an object for " ^ key))
 
+(* Past 2^53 a float no longer represents every integer, so [int_of_float]
+   would silently return a neighbour of the written value. *)
+let max_exact_int = 9007199254740992.0 (* 2^53 *)
+
 let as_int = function
-  | Num f when Float.is_integer f -> int_of_float f
+  | Num f when Float.is_integer f && Float.abs f <= max_exact_int -> int_of_float f
+  | Num _ -> raise (Parse_error "integer out of exactly-representable range")
   | _ -> raise (Parse_error "expected an integer")
 
 let as_float = function
@@ -205,6 +218,59 @@ let decode_instance j =
               | _ -> raise (Parse_error "edge must be a [src, dst] pair"))
             (as_list (field dfg "edges"));
         live_outs = List.map as_int (as_list (field dfg "live_outs")) } }
+
+(* ---------------------------------------------------------------- *)
+(* Emission — the exact inverse of [parse] on the repro/batch schema *)
+(* ---------------------------------------------------------------- *)
+
+(* Matches the conventions of Engine.Jsonx / Instance.to_json: integral
+   doubles in [-2^53, 2^53] print in integer form (as [string_of_int]
+   would), everything else via %.17g so doubles survive a round trip.
+   Consequently [to_string (parse (to_string j)) = to_string j]. *)
+let num_to_string f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f <= max_exact_int then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f -> num_to_string f
+  | Str s -> Engine.Jsonx.string s
+  | Arr vs -> "[" ^ String.concat ", " (List.map to_string vs) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Engine.Jsonx.string k ^ ": " ^ to_string v) fields)
+    ^ "}"
+
+let num_int i = Num (float_of_int i)
+
+let json_of_instance (t : Instance.t) =
+  let point (p : Instance.curve_point) =
+    Obj [ ("area", num_int p.area); ("cycles", num_int p.cycles) ]
+  in
+  let task (ts : Instance.task_spec) =
+    Obj
+      [ ("period", num_int ts.period);
+        ("base", num_int ts.base);
+        ("points", Arr (List.map point ts.points)) ]
+  in
+  Obj
+    [ ("budget", num_int t.budget);
+      ("eps", Num t.eps);
+      ("tasks", Arr (List.map task t.tasks));
+      ( "dfg",
+        Obj
+          [ ( "kinds",
+              Arr (List.map (fun k -> Str (Ir.Op.name k)) t.dfg.Instance.kinds) );
+            ( "edges",
+              Arr
+                (List.map
+                   (fun (s, d) -> Arr [ num_int s; num_int d ])
+                   t.dfg.Instance.edges) );
+            ("live_outs", Arr (List.map num_int t.dfg.Instance.live_outs)) ] ) ]
 
 let instance_of_json text =
   match decode_instance (parse text) with

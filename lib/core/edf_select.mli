@@ -15,6 +15,15 @@ val run : budget:int -> Rt.Task.t list -> Selection.t
 (** Minimum-utilization assignment within the budget (always exists —
     the software configuration is free). *)
 
+val run_sweep : budgets:int list -> Rt.Task.t list -> Selection.t list
+(** One selection per requested budget, in order, from a single DP
+    filled to the largest budget at granularity
+    Δ = gcd(budgets ∪ areas).  Because that Δ divides each per-budget
+    granularity, every result is bit-identical to the corresponding
+    [run ~budget] — a whole budget sweep for the price of one DP (the
+    batch service's grouping relies on this; asserted property-based in
+    the [batch] suite).  Counts ["edf.sweeps"]. *)
+
 val run_schedulable : budget:int -> Rt.Task.t list -> Selection.t option
 (** The same, filtered to EDF-schedulable results: [None] when even the
     optimum exceeds utilization 1. *)

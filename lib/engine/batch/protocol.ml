@@ -1,0 +1,89 @@
+module R = Check.Repro
+
+type op = Edf | Rms | Pareto_exact | Pareto_approx | Curve
+
+let op_name = function
+  | Edf -> "edf"
+  | Rms -> "rms"
+  | Pareto_exact -> "pareto_exact"
+  | Pareto_approx -> "pareto_approx"
+  | Curve -> "curve"
+
+let all_ops = [ Edf; Rms; Pareto_exact; Pareto_approx; Curve ]
+
+let op_of_name n = List.find_opt (fun op -> op_name op = n) all_ops
+
+type request = { id : string; op : op; instance : Check.Instance.t }
+
+type prepared = {
+  req : request;
+  canonical : Check.Instance.t;
+  perm : int array;
+  key : string;
+  group : string;
+}
+
+let empty_dfg = { Check.Instance.kinds = []; edges = []; live_outs = [] }
+
+(* Blank the instance fields the op ignores, so e.g. two edf requests
+   differing only in eps share a key. *)
+let trim op (i : Check.Instance.t) =
+  match op with
+  | Edf | Rms -> { i with Check.Instance.eps = 1.0; dfg = empty_dfg }
+  | Pareto_exact -> { i with Check.Instance.budget = 0; eps = 1.0; dfg = empty_dfg }
+  | Pareto_approx -> { i with Check.Instance.budget = 0; dfg = empty_dfg }
+  | Curve ->
+    { i with Check.Instance.tasks = []; budget = 0; eps = 1.0 }
+
+let prepare req =
+  let canonical, perm = Canon.instance req.instance in
+  let key_of i = op_name req.op ^ "-" ^ Shash.of_instance i in
+  { req;
+    canonical;
+    perm;
+    key = key_of (trim req.op canonical);
+    group = key_of { (trim req.op canonical) with Check.Instance.budget = 0 } }
+
+let parse_request line =
+  match R.parse line with
+  | exception R.Parse_error msg -> Error msg
+  | j ->
+    (match
+       let id = R.as_string (R.field j "id") in
+       let opn = R.as_string (R.field j "op") in
+       (id, opn, R.decode_instance (R.field j "instance"))
+     with
+     | exception R.Parse_error msg -> Error msg
+     | id, opn, instance ->
+       (match op_of_name opn with
+        | None -> Error (Printf.sprintf "unknown op %S" opn)
+        | Some op ->
+          if Check.Instance.valid instance then Ok { id; op; instance }
+          else Error "instance violates a constructor precondition"))
+
+let request_line req =
+  R.to_string
+    (R.Obj
+       [ ("id", R.Str req.id);
+         ("op", R.Str (op_name req.op));
+         ("instance", R.json_of_instance req.instance) ])
+
+let reproject perm = function
+  | R.Arr entries when List.length entries = Array.length perm ->
+    let arr = Array.of_list entries in
+    R.Arr (List.init (Array.length perm) (fun i -> arr.(perm.(i))))
+  | v -> v
+
+let render_response p ~payload =
+  let fields = match payload with R.Obj fs -> fs | v -> [ ("result", v) ] in
+  let fields =
+    List.map
+      (fun (k, v) -> if k = "assignment" then (k, reproject p.perm v) else (k, v))
+      fields
+  in
+  R.to_string
+    (R.Obj
+       (("id", R.Str p.req.id)
+       :: ("op", R.Str (op_name p.req.op))
+       :: ("key", R.Str p.key)
+       :: fields))

@@ -1,0 +1,234 @@
+module R = Check.Repro
+
+type stats = {
+  requests : int;
+  unique : int;
+  groups : int;
+  dedup_hits : int;
+  memo_hits : int;
+  swept : int;
+}
+
+let hit_rate s =
+  if s.requests = 0 then 0.
+  else float_of_int (s.dedup_hits + s.memo_hits) /. float_of_int s.requests
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d requests: %d unique, %d groups, %d dedup hits, %d memo hits, %d swept, \
+     hit-rate %.1f%%"
+    s.requests s.unique s.groups s.dedup_hits s.memo_hits s.swept
+    (100. *. hit_rate s)
+
+(* Same resolution as the fuzz properties: instance DFGs are small and
+   the corpus expects stable curves. *)
+let curve_params = { Ise.Curve.small with Ise.Curve.sweep_points = 8 }
+
+(* The inter-task workload view (as in Check.Prop): one entity per
+   task, delta = cycles saved, cost = area. *)
+let entities_of (i : Check.Instance.t) =
+  List.map
+    (fun (ts : Check.Instance.task_spec) ->
+      List.map
+        (fun (p : Check.Instance.curve_point) ->
+          { Pareto.Mo_select.delta = float_of_int (ts.base - p.cycles);
+            cost = p.area })
+        ts.points
+      |> Array.of_list)
+    i.Check.Instance.tasks
+
+let base_of (i : Check.Instance.t) =
+  Util.Numeric.sum_byf
+    (fun (ts : Check.Instance.task_spec) -> float_of_int ts.base)
+    i.Check.Instance.tasks
+
+let num_int i = R.Num (float_of_int i)
+
+let status_field st =
+  ( "status",
+    R.Str (match st with Engine.Guard.Exact -> "exact" | Partial _ -> "partial") )
+
+let point_json (p : Isa.Config.point) =
+  R.Obj [ ("area", num_int p.area); ("cycles", num_int p.cycles) ]
+
+let selection_fields (sel : Core.Selection.t) =
+  [ ("utilization", R.Num sel.Core.Selection.utilization);
+    ("area", num_int sel.Core.Selection.area);
+    ( "assignment",
+      R.Arr (List.map (fun (_, p) -> point_json p) sel.Core.Selection.assignment)
+    ) ]
+
+let front_json front =
+  R.Arr
+    (List.map
+       (fun (p : Util.Pareto_front.point) ->
+         R.Obj [ ("cost", num_int p.cost); ("value", R.Num p.value) ])
+       front)
+
+let edf_payload sel = R.Obj (status_field Engine.Guard.Exact :: selection_fields sel)
+
+let payload op (ci : Check.Instance.t) =
+  match (op : Protocol.op) with
+  | Edf -> edf_payload (Core.Edf_select.run ~budget:ci.budget (Check.Instance.tasks ci))
+  | Rms ->
+    let guard = Engine.Guard.default () in
+    (match Core.Rms_select.run_guarded ~guard ~budget:ci.budget (Check.Instance.tasks ci) with
+     | Some sel, st ->
+       R.Obj (status_field st :: ("feasible", R.Bool true) :: selection_fields sel)
+     | None, st -> R.Obj [ status_field st; ("feasible", R.Bool false) ])
+  | Pareto_exact ->
+    let guard = Engine.Guard.default () in
+    let front, st =
+      Pareto.Mo_select.exact_front_guarded ~guard ~base:(base_of ci) (entities_of ci)
+    in
+    R.Obj [ status_field st; ("points", front_json front) ]
+  | Pareto_approx ->
+    let front =
+      Pareto.Mo_select.approx_front ~eps:ci.Check.Instance.eps ~base:(base_of ci)
+        (entities_of ci)
+    in
+    R.Obj [ status_field Engine.Guard.Exact; ("points", front_json front) ]
+  | Curve ->
+    let cfg =
+      { Ir.Cfg.name = "batch"; code = Ir.Cfg.block "b0" (Check.Instance.dfg ci) }
+    in
+    let curve = Ise.Curve.generate ~params:curve_params cfg in
+    R.Obj
+      [ status_field Engine.Guard.Exact;
+        ("base", num_int (Isa.Config.base_cycles curve));
+        ( "points",
+          R.Arr (Array.to_list (Array.map point_json (Isa.Config.points curve))) )
+      ]
+
+(* Rendering always goes payload → string → parse → render, on every
+   path, so a memo-warm answer is byte-identical to a cold one by
+   construction rather than by argument. *)
+let respond req =
+  let p = Protocol.prepare req in
+  let s = R.to_string (payload p.Protocol.req.op p.Protocol.canonical) in
+  Protocol.render_response p ~payload:(R.parse s)
+
+type group_result = { entries : (string * string) list; g_memo_hits : int; g_swept : int }
+
+let compute_group memo (ps : Protocol.prepared list) =
+  Engine.Trace.with_span "batch.group"
+    ~attrs:[ ("size", string_of_int (List.length ps)) ]
+  @@ fun () ->
+  Engine.Histogram.time "batch.group_s" @@ fun () ->
+  let probed =
+    List.map
+      (fun (p : Protocol.prepared) ->
+        (p, Option.bind memo (fun m -> Engine.Memo.find m ~key:p.Protocol.key)))
+      ps
+  in
+  let missing = List.filter_map (fun (p, r) -> if r = None then Some p else None) probed in
+  let computed, swept =
+    match missing with
+    | [] -> ([], 0)
+    | (first : Protocol.prepared) :: _
+      when first.Protocol.req.op = Protocol.Edf && List.length missing > 1 ->
+      (* a budget sweep over one task set: one DP answers the group *)
+      let budgets =
+        List.map
+          (fun (p : Protocol.prepared) -> p.Protocol.canonical.Check.Instance.budget)
+          missing
+      in
+      let sels =
+        Core.Edf_select.run_sweep ~budgets
+          (Check.Instance.tasks first.Protocol.canonical)
+      in
+      Engine.Telemetry.add "batch.sweep_budgets" (List.length missing);
+      (List.map2 (fun p sel -> (p, edf_payload sel)) missing sels, List.length missing)
+    | _ ->
+      ( List.map
+          (fun (p : Protocol.prepared) ->
+            (p, payload p.Protocol.req.op p.Protocol.canonical))
+          missing,
+        0 )
+  in
+  let fresh =
+    List.map
+      (fun ((p : Protocol.prepared), pl) -> (p.Protocol.key, R.to_string pl))
+      computed
+  in
+  (match memo with
+   | Some m -> List.iter (fun (k, s) -> Engine.Memo.store m ~key:k s) fresh
+   | None -> ());
+  let hits =
+    List.filter_map
+      (fun ((p : Protocol.prepared), r) ->
+        Option.map (fun s -> (p.Protocol.key, s)) r)
+      probed
+  in
+  { entries = hits @ fresh; g_memo_hits = List.length hits; g_swept = swept }
+
+let run ?(jobs = 1) ?memo reqs =
+  Engine.Trace.with_span "batch.run"
+    ~attrs:[ ("requests", string_of_int (List.length reqs)) ]
+  @@ fun () ->
+  Engine.Histogram.time "batch.run_s" @@ fun () ->
+  let prepared = List.map Protocol.prepare reqs in
+  Engine.Telemetry.add "batch.requests" (List.length prepared);
+  let seen = Hashtbl.create 64 in
+  let dedup_hits = ref 0 in
+  let uniq =
+    List.filter
+      (fun (p : Protocol.prepared) ->
+        if Hashtbl.mem seen p.Protocol.key then begin
+          incr dedup_hits;
+          false
+        end
+        else begin
+          Hashtbl.add seen p.Protocol.key ();
+          true
+        end)
+      prepared
+  in
+  let group_tbl = Hashtbl.create 64 in
+  let group_order = ref [] in
+  List.iter
+    (fun (p : Protocol.prepared) ->
+      let g = p.Protocol.group in
+      match Hashtbl.find_opt group_tbl g with
+      | Some ps -> Hashtbl.replace group_tbl g (p :: ps)
+      | None ->
+        Hashtbl.add group_tbl g [ p ];
+        group_order := g :: !group_order)
+    uniq;
+  let groups =
+    List.map (fun g -> List.rev (Hashtbl.find group_tbl g)) (List.rev !group_order)
+  in
+  let outcomes = Engine.Parallel.map_result ~jobs (compute_group memo) groups in
+  let results =
+    List.map2
+      (fun g -> function
+        | Ok r -> r
+        | Error (_ : Engine.Parallel.error) ->
+          (* the parallel pool gave up on this group (worker faults);
+             recompute it inline — same code, same bytes *)
+          Engine.Telemetry.incr "batch.group_recovered";
+          compute_group memo g)
+      groups outcomes
+  in
+  let by_key = Hashtbl.create 64 in
+  List.iter (fun r -> List.iter (fun (k, s) -> Hashtbl.replace by_key k s) r.entries) results;
+  let lines =
+    List.map
+      (fun (p : Protocol.prepared) ->
+        Protocol.render_response p
+          ~payload:(R.parse (Hashtbl.find by_key p.Protocol.key)))
+      prepared
+  in
+  (match memo with Some m -> Engine.Memo.observe_occupancy m | None -> ());
+  let stats =
+    { requests = List.length prepared;
+      unique = List.length uniq;
+      groups = List.length groups;
+      dedup_hits = !dedup_hits;
+      memo_hits = List.fold_left (fun a r -> a + r.g_memo_hits) 0 results;
+      swept = List.fold_left (fun a r -> a + r.g_swept) 0 results }
+  in
+  Engine.Telemetry.add "batch.unique" stats.unique;
+  Engine.Telemetry.add "batch.groups" stats.groups;
+  Engine.Telemetry.add "batch.dedup_hits" stats.dedup_hits;
+  (lines, stats)

@@ -1,0 +1,81 @@
+type shard = { lock : Mutex.t; table : (string, string) Hashtbl.t }
+
+type t = { shards : shard array; namespace : string; spill : bool }
+
+let create ?(shards = 16) ?(spill = true) ~namespace () =
+  if shards < 1 then invalid_arg "Memo.create: shards must be >= 1";
+  { shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 64 });
+    namespace;
+    spill }
+
+(* FNV-1a; the shard index takes the top bits so keys sharing a long
+   common prefix (the "op-" discriminator) still spread. *)
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let shard_of t key =
+  let h = Int64.to_int (Int64.shift_right_logical (fnv64 key) 3) land max_int in
+  t.shards.(h mod Array.length t.shards)
+
+let with_lock s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let find t ~key =
+  let s = shard_of t key in
+  match with_lock s (fun () -> Hashtbl.find_opt s.table key) with
+  | Some v ->
+    Telemetry.incr "memo.hits";
+    Some v
+  | None ->
+    let spilled =
+      if t.spill then (Cache.find ~namespace:t.namespace ~key () : string option)
+      else None
+    in
+    (match spilled with
+     | Some v ->
+       Telemetry.incr "memo.hits";
+       Telemetry.incr "memo.spill_hits";
+       with_lock s (fun () -> Hashtbl.replace s.table key v);
+       Some v
+     | None ->
+       Telemetry.incr "memo.misses";
+       None)
+
+let store t ~key value =
+  let s = shard_of t key in
+  with_lock s (fun () -> Hashtbl.replace s.table key value);
+  Telemetry.incr "memo.stores";
+  if t.spill then Cache.store ~namespace:t.namespace ~key value
+
+let find_or_compute t ~key f =
+  match find t ~key with
+  | Some v -> (v, true)
+  | None ->
+    let v = f () in
+    store t ~key v;
+    (v, false)
+
+let shards t = Array.length t.shards
+
+let size t =
+  Array.fold_left
+    (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.table))
+    0 t.shards
+
+let observe_occupancy t =
+  Array.iter
+    (fun s ->
+      Histogram.observe "memo.shard_occupancy"
+        (float_of_int (with_lock s (fun () -> Hashtbl.length s.table))))
+    t.shards
+
+let clear t =
+  Array.iter (fun s -> with_lock s (fun () -> Hashtbl.reset s.table)) t.shards

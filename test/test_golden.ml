@@ -1,0 +1,86 @@
+(* The golden regression corpus: committed requests with committed
+   expected responses, so any solver-output drift — solver behaviour,
+   canonicalization, hashing, serialization — fails tier-1 instead of
+   waiting for the fuzzer to stumble on it.  Regenerate deliberately
+   with `make golden-update`. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (if String.trim l = "" then acc else l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* dune runtest runs in test/ (where the (deps) copies land); dune exec
+   from the project root sees the source tree instead *)
+let golden file =
+  let local = Filename.concat "golden" file in
+  if Sys.file_exists local then local else Filename.concat "test/golden" file
+
+let cases = lazy (read_lines (golden "cases.jsonl"))
+let expected = lazy (read_lines (golden "expected.jsonl"))
+
+let requests () =
+  List.map
+    (fun line ->
+      match Batch.Protocol.parse_request line with
+      | Ok r -> r
+      | Error msg -> Alcotest.failf "golden case does not parse: %s\n%s" msg line)
+    (Lazy.force cases)
+
+let fresh_memo () =
+  Engine.Memo.create ~shards:4 ~spill:false ~namespace:"golden" ()
+
+let check_lines label actual =
+  List.iteri
+    (fun i (want, got) -> check string (Printf.sprintf "%s line %d" label i) want got)
+    (List.combine (Lazy.force expected) actual)
+
+let test_corpus_shape () =
+  let n = List.length (Lazy.force cases) in
+  check bool "about 20 cases" true (n >= 18 && n <= 30);
+  check int "one response per request" n (List.length (Lazy.force expected));
+  (* every op appears *)
+  let ops = List.map (fun r -> r.Batch.Protocol.op) (requests ()) in
+  List.iter
+    (fun op -> check bool "op represented" true (List.mem op ops))
+    [ Batch.Protocol.Edf; Rms; Pareto_exact; Pareto_approx; Curve ]
+
+let test_sequential_matches_expected () =
+  check_lines "sequential" (List.map Batch.Service.respond (requests ()))
+
+let test_batch_cold_matches_expected () =
+  let lines, stats = Batch.Service.run ~jobs:2 ~memo:(fresh_memo ()) (requests ()) in
+  check_lines "cold batch" lines;
+  check bool "corpus contains duplicates" true (stats.Batch.Service.dedup_hits > 0);
+  check bool "corpus contains a sweep" true (stats.Batch.Service.swept > 1)
+
+let test_batch_warm_matches_expected () =
+  let memo = fresh_memo () in
+  let reqs = requests () in
+  let _ = Batch.Service.run ~memo reqs in
+  let lines, stats = Batch.Service.run ~memo reqs in
+  check_lines "warm batch" lines;
+  check int "every unique request served from the memo"
+    stats.Batch.Service.unique stats.Batch.Service.memo_hits
+
+let () =
+  Alcotest.run "golden"
+    [ ( "golden",
+        [ Alcotest.test_case "corpus shape" `Quick test_corpus_shape;
+          Alcotest.test_case "sequential matches expected" `Quick
+            test_sequential_matches_expected;
+          Alcotest.test_case "batch (cold) matches expected" `Quick
+            test_batch_cold_matches_expected;
+          Alcotest.test_case "batch (warm) matches expected" `Quick
+            test_batch_warm_matches_expected ] ) ]
