@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults clean
+.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress clean
 
 all: build
 
@@ -61,6 +61,15 @@ faults: build
 	dune exec bin/isecustom.exe -- check faults
 	dune exec bin/isecustom.exe -- check --seed $(SEED) --budget 200 \
 	  --fault-spec "$(FAULT_SPEC)"
+
+# Pool stress: the work-stealing pool's own test binary, the pooled
+# map_result == sequential-fold property at 4 jobs under random fault
+# specs, and the full fault-injection run.
+parallel-stress: build
+	dune exec test/test_pool.exe
+	dune exec bin/isecustom.exe -- check --suite parallel --seed $(SEED) \
+	  --budget 200
+	$(MAKE) faults
 
 clean:
 	dune clean

@@ -159,11 +159,21 @@ let obs_finish obs =
 
 let jobs_arg =
   let doc =
-    "Generate configuration curves on $(docv) parallel domains \
-     (default: sequential).  Results are bit-identical to a \
-     sequential run."
+    "Create one persistent work-stealing pool of $(docv) domains for \
+     the whole command and run every parallel phase (curve generation, \
+     batch groups) on it (default: sequential, no pool).  Results are \
+     bit-identical to a sequential run."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* The pool is created here, once per command, and the handle threaded
+   down — lower layers take [?pool] and never read a jobs count
+   themselves. *)
+let with_jobs_pool jobs f =
+  match jobs with
+  | None -> f None
+  | Some j ->
+    Engine.Parallel.Pool.with_pool ~jobs:j (fun pool -> f (Some pool))
 
 let apply_no_cache no_cache = if no_cache then Engine.Cache.set_enabled false
 
@@ -402,9 +412,9 @@ let experiment_cmd =
         (match Experiments.Registry.find id with
          | Some e ->
            let result =
-             match jobs with
-             | Some jobs -> Experiments.Registry.run_parallel ~jobs e
-             | None -> e.run ()
+             with_jobs_pool jobs (function
+               | Some pool -> Experiments.Registry.run_parallel ~pool e
+               | None -> e.run ())
            in
            Experiments.Report.render fmt result;
            print_stats stats;
@@ -440,9 +450,9 @@ let profile_cmd =
     | Some e ->
       Engine.Trace.set_enabled true;
       let result =
-        match jobs with
-        | Some jobs -> Experiments.Registry.run_parallel ~jobs e
-        | None -> e.run ()
+        with_jobs_pool jobs (function
+          | Some pool -> Experiments.Registry.run_parallel ~pool e
+          | None -> e.run ())
       in
       Format.fprintf fmt "=== %s: %s (%.1fs) ===@." e.id e.title result.elapsed;
       Format.fprintf fmt "@.--- span tree ---@.";
@@ -543,13 +553,15 @@ let batch_cmd =
     in
     let indexed = List.mapi (fun i line -> (i, Batch.Protocol.parse_request line)) lines in
     let oks = List.filter_map (function i, Ok r -> Some (i, r) | _ -> None) indexed in
-    let jobs = Option.value jobs ~default:1 in
+    (* created (and shut down) explicitly rather than via with_jobs_pool:
+       this command ends in [exit], which does not unwind Fun.protect *)
+    let pool = Option.map (fun j -> Engine.Parallel.Pool.create ~jobs:j ()) jobs in
     let answered, stats =
       if sequential then
         (List.map (fun (i, r) -> (i, Batch.Service.respond r)) oks, None)
       else begin
         let memo = Engine.Memo.create ~shards ~namespace:"batch" () in
-        let out, stats = Batch.Service.run ~jobs ~memo (List.map snd oks) in
+        let out, stats = Batch.Service.run ?pool ~memo (List.map snd oks) in
         (List.map2 (fun (i, _) line -> (i, line)) oks out, Some stats)
       end
     in
@@ -579,6 +591,7 @@ let batch_cmd =
       Engine.Histogram.pp_table Format.err_formatter ()
     end;
     obs_finish obs;
+    Option.iter Engine.Parallel.Pool.shutdown pool;
     let errors = List.length indexed - List.length oks in
     if errors > 0 then begin
       Format.eprintf "%d request line%s could not be parsed@." errors
@@ -613,7 +626,7 @@ let check_cmd =
   let suite_arg =
     let doc =
       "Restrict to one suite (repeatable): select, sched, pareto, curve, \
-       engine or batch."
+       engine, parallel or batch."
     in
     Arg.(value & opt_all string [] & info [ "suite" ] ~docv:"SUITE" ~doc)
   in

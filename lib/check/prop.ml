@@ -523,25 +523,76 @@ let parallel_map_matches_sequential =
     suite = "engine";
     run =
       (fun inst ->
-        (* [Parallel.map] propagates injected worker crashes by design;
-           the recovery story lives in [map_result] and its tests *)
+        (* [Pool.map] propagates injected worker crashes by design; the
+           recovery story lives in [map_result] and the "parallel"
+           suite's fault property *)
         if Engine.Fault.active () then Skip "fault injection active"
         else
         let xs = List.init (1 + (inst.Instance.budget mod 40)) Fun.id in
         let f x = Hashtbl.hash (x, inst.Instance.budget, inst.Instance.eps) in
         let seq = List.map f xs in
-        let par = Engine.Parallel.map ~jobs:3 f xs in
-        if par <> seq then Fail "Parallel.map diverges from List.map"
+        Engine.Parallel.Pool.with_pool ~jobs:3 @@ fun pool ->
+        let par = Engine.Parallel.Pool.map pool f xs in
+        if par <> seq then Fail "Pool.map diverges from List.map"
         else begin
           let sum = List.fold_left ( + ) 0 seq in
           let par_sum =
-            Engine.Parallel.map_reduce ~jobs:2 ~map:f
+            Engine.Parallel.Pool.map_reduce pool ~map:f
               ~reduce:(fun acc v -> acc + v)
               0 xs
           in
           if par_sum <> sum then
             failf "map_reduce sum %d, sequential %d" par_sum sum
           else Pass
+        end) }
+
+let pool_map_result_matches_sequential_fold =
+  { name = "pool_map_result_matches_sequential_fold";
+    suite = "parallel";
+    run =
+      (fun inst ->
+        (* Reconfigures the process-global fault state, so it must not
+           run while an external spec (make faults) is armed. *)
+        if Engine.Fault.active () then Skip "fault injection active"
+        else begin
+          let budget = inst.Instance.budget in
+          let cap = 1 + (budget mod 3) in
+          let spec =
+            { Engine.Fault.seed = 1000 + budget;
+              points =
+                [ ( "parallel.worker",
+                    { Engine.Fault.prob = 0.3 +. (0.4 *. inst.Instance.eps);
+                      cap = Some cap } ) ] }
+          in
+          let xs = List.init (2 + (budget mod 23)) Fun.id in
+          let f x = Hashtbl.hash (x, budget, inst.Instance.eps) in
+          let seq = List.map f xs in
+          Engine.Fault.configure spec;
+          Fun.protect ~finally:Engine.Fault.disable @@ fun () ->
+          Engine.Parallel.Pool.with_pool ~jobs:(2 + (budget mod 3))
+          @@ fun pool ->
+          (* the point fires at most [cap] times, so [cap + 1] attempts
+             guarantee every slot eventually computes: under injected
+             crashes pooled map_result must still equal the sequential
+             fold, slot for slot *)
+          let outcomes =
+            Engine.Parallel.Pool.map_result pool ~attempts:(cap + 1) f xs
+          in
+          let first_error =
+            List.find_map
+              (function Ok _ -> None | Error (e : Engine.Parallel.error) -> Some e)
+              outcomes
+          in
+          match first_error with
+          | Some e ->
+            failf "slot failed despite attempts > cap: %s" e.message
+          | None ->
+            let got =
+              List.filter_map (function Ok v -> Some v | Error _ -> None) outcomes
+            in
+            if got <> seq then
+              Fail "pooled map_result diverges from sequential fold under faults"
+            else Pass
         end) }
 
 (* ---------------------------------------------------------------- *)
@@ -560,7 +611,8 @@ let all =
     generated_curve_well_formed;
     candidates_respect_constraints;
     cache_roundtrip_and_corruption;
-    parallel_map_matches_sequential ]
+    parallel_map_matches_sequential;
+    pool_map_result_matches_sequential_fold ]
 
 let suites =
   List.fold_left

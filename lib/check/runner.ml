@@ -255,8 +255,8 @@ let fault_selftest ?(fmt = null_fmt) () =
               let recovered_before = counter "parallel.recovered" in
               point "parallel.worker" ();
               let outcomes =
-                Engine.Parallel.map_result ~jobs:1 ~attempts:2
-                  (fun x -> x * x)
+                List.map
+                  (Engine.Parallel.Pool.isolate ~attempts:2 (fun x -> x * x))
                   [ 1; 2; 3 ]
               in
               injected_since before "parallel.worker";
@@ -270,8 +270,9 @@ let fault_selftest ?(fmt = null_fmt) () =
               Engine.Fault.disable ();
               let failed_before = counter "parallel.item_failed" in
               let outcomes =
-                Engine.Parallel.map_result ~jobs:1 ~attempts:2
-                  (fun x -> if x = 2 then failwith "permanent" else x * x)
+                List.map
+                  (Engine.Parallel.Pool.isolate ~attempts:2 (fun x ->
+                       if x = 2 then failwith "permanent" else x * x))
                   [ 1; 2; 3 ]
               in
               (match outcomes with

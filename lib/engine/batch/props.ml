@@ -73,7 +73,10 @@ let batch_matches_sequential inst =
   else begin
     let reqs = stream_of inst in
     let sequential = List.map Service.respond reqs in
-    let batched, stats = Service.run ~jobs:2 ~memo:(fresh_memo ()) reqs in
+    let batched, stats =
+      Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
+      Service.run ~pool ~memo:(fresh_memo ()) reqs
+    in
     if batched <> sequential then Fail (diff_lines sequential batched)
     else if stats.Service.dedup_hits = 0 then
       Fail "stream contains duplicates but dedup found none"
@@ -124,7 +127,10 @@ let batch_survives_faults inst =
       ~finally:(fun () -> Engine.Cache.set_dir saved)
       (fun () ->
         let reqs = stream_of inst in
-        match Service.run ~jobs:2 ~memo:(fresh_memo ~spill:true ()) reqs with
+        match
+          Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
+          Service.run ~pool ~memo:(fresh_memo ~spill:true ()) reqs
+        with
         | exception e ->
           Fail ("service raised under fault injection: " ^ Printexc.to_string e)
         | lines, _ ->

@@ -162,7 +162,7 @@ let compute_group memo (ps : Protocol.prepared list) =
   in
   { entries = hits @ fresh; g_memo_hits = List.length hits; g_swept = swept }
 
-let run ?(jobs = 1) ?memo reqs =
+let run ?pool ?memo reqs =
   Engine.Trace.with_span "batch.run"
     ~attrs:[ ("requests", string_of_int (List.length reqs)) ]
   @@ fun () ->
@@ -198,7 +198,11 @@ let run ?(jobs = 1) ?memo reqs =
   let groups =
     List.map (fun g -> List.rev (Hashtbl.find group_tbl g)) (List.rev !group_order)
   in
-  let outcomes = Engine.Parallel.map_result ~jobs (compute_group memo) groups in
+  let outcomes =
+    match pool with
+    | Some p -> Engine.Parallel.Pool.map_result p (compute_group memo) groups
+    | None -> List.map (Engine.Parallel.Pool.isolate (compute_group memo)) groups
+  in
   let results =
     List.map2
       (fun g -> function

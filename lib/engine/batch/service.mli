@@ -9,10 +9,12 @@
     + {b group} — unique requests sharing a group key are a budget
       sweep over one problem; an EDF group is answered by a single
       shared DP ({!Core.Edf_select.run_sweep});
-    + {b execute} — groups run on the {!Engine.Parallel} domain pool,
-      probing and filling the {!Engine.Memo} table; a crashed group is
-      recomputed inline (["batch.group_recovered"]), so worker faults
-      degrade to sequential execution, never to a lost answer.
+    + {b execute} — groups run as work items on the caller's persistent
+      {!Engine.Parallel.Pool} (or sequentially with the same per-item
+      crash isolation when no pool is passed), probing and filling the
+      {!Engine.Memo} table; a crashed group is recomputed inline
+      (["batch.group_recovered"]), so worker faults degrade to
+      sequential execution, never to a lost answer.
 
     Responses come back in request order.  Both [run] and the
     one-at-a-time reference {!respond} serialise result payloads
@@ -44,9 +46,10 @@ val respond : Protocol.request -> string
     batch path is differentially tested against. *)
 
 val run :
-  ?jobs:int ->
+  ?pool:Engine.Parallel.Pool.t ->
   ?memo:Engine.Memo.t ->
   Protocol.request list ->
   string list * stats
-(** Answer a stream.  [jobs] defaults to 1 (sequential); [memo]
-    defaults to none (dedup and sweep-grouping still apply). *)
+(** Answer a stream.  Without [pool] the groups run sequentially (still
+    crash-isolated per group); [memo] defaults to none (dedup and
+    sweep-grouping still apply). *)

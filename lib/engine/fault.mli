@@ -17,7 +17,7 @@
     - ["cache.truncate"] — does not raise; makes the write tear
       mid-entry so the {e next read} sees a truncated file;
     - ["parallel.worker"] — raised inside a worker's per-item
-      computation ({!Parallel.map_result} retries / isolates it);
+      computation ({!Parallel.Pool.map_result} retries / isolates it);
     - ["guard.exhaust"] — forces a {!Guard.t} to report exhaustion.
 
     Draws come from a seeded splitmix64 stream behind a mutex, so a

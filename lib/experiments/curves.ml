@@ -47,7 +47,7 @@ let candidates name =
   cached candidate_table ~namespace:cand_ns
     ~generate:(Ise.Curve.candidates ~params) name
 
-let warm ?jobs names =
+let warm ?pool names =
   Engine.Trace.with_span "curves.warm"
     ~attrs:[ ("kernels", string_of_int (List.length names)) ]
   @@ fun () ->
@@ -55,7 +55,7 @@ let warm ?jobs names =
     List.sort_uniq compare names
     |> List.filter (fun n -> not (Hashtbl.mem curve_table n))
   in
-  (* pull persisted curves first so domains are spawned only for real
+  (* pull persisted curves first so the pool is handed only real
      generation work *)
   let to_generate =
     List.filter
@@ -70,12 +70,22 @@ let warm ?jobs names =
   if to_generate <> [] then
     Engine.Log.info "curves: warming %d kernel%s%s" (List.length to_generate)
       (if List.length to_generate = 1 then "" else "s")
-      (match jobs with
-       | Some j when j > 1 -> Printf.sprintf " on %d domains" j
+      (match pool with
+       | Some p when Engine.Parallel.Pool.jobs p > 1 ->
+         Printf.sprintf " on %d domains" (Engine.Parallel.Pool.jobs p)
        | _ -> "");
-  Engine.Parallel.map ?jobs
-    (fun name -> (name, Ise.Curve.generate ~params (Kernels.find name)))
-    to_generate
+  (* outer items are per kernel; each generation then splits into
+     per-block / per-budget items on the same pool, so the curves that
+     finish early leave their domains free to steal the stragglers' *)
+  (match pool with
+   | Some p ->
+     Engine.Parallel.Pool.map p
+       (fun name -> (name, Ise.Curve.generate ~pool:p ~params (Kernels.find name)))
+       to_generate
+   | None ->
+     List.map
+       (fun name -> (name, Ise.Curve.generate ~params (Kernels.find name)))
+       to_generate)
   |> List.iter (fun (name, c) ->
          Engine.Cache.store ~namespace:curve_ns ~key:(key_of name) c;
          Hashtbl.replace curve_table name c)

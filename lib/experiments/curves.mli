@@ -18,11 +18,13 @@ val curve : string -> Isa.Config.t
 val candidates : string -> Ise.Select.candidate list
 (** Custom-instruction candidates of a kernel (cached). *)
 
-val warm : ?jobs:int -> string list -> unit
+val warm : ?pool:Engine.Parallel.Pool.t -> string list -> unit
 (** Ensure every named kernel's curve is resident: disk-cached curves
-    are loaded, the rest are generated concurrently on up to [jobs]
-    domains ([Engine.Parallel.map]) and persisted.  Results are
-    bit-identical to sequential generation. *)
+    are loaded, the rest are generated on [pool]'s resident domains
+    (per-kernel outer items, each splitting into per-block/per-budget
+    inner items that idle domains steal) and persisted.  Without a pool
+    generation runs sequentially; results are bit-identical either
+    way. *)
 
 val reset : unit -> unit
 (** Drop the in-process memo tables (the persistent store is

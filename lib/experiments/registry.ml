@@ -65,27 +65,26 @@ let kernels_of e =
   in
   List.sort_uniq compare names
 
-let run_parallel ?jobs e =
+let run_parallel ?pool e =
   let _, warm_time =
-    Report.timed (fun () -> Curves.warm ?jobs (kernels_of e))
+    Report.timed (fun () -> Curves.warm ?pool (kernels_of e))
   in
   let result = e.run () in
   { result with timings = ("curve-prewarm", warm_time) :: result.timings }
 
-(* Experiments run one at a time (each already parallelises its curve
-   warm-up internally); [map_result]'s job here is crash isolation and
-   retry, so one raising driver degrades to a reported error instead of
-   aborting the whole sweep. *)
-let run_sweep ?jobs exps =
-  let outcomes =
-    Engine.Parallel.map_result ~jobs:1 (fun e -> run_parallel ?jobs e) exps
-  in
-  List.map2
-    (fun e outcome ->
-      match outcome with
+(* Experiments run one at a time (each already spreads its curve
+   warm-up across the pool internally); [Pool.isolate] supplies the
+   crash isolation and retry, so one raising driver degrades to a
+   reported error instead of aborting the whole sweep. *)
+let run_sweep ?pool exps =
+  List.map
+    (fun e ->
+      match
+        Engine.Parallel.Pool.isolate ~attempts:2 (fun e -> run_parallel ?pool e) e
+      with
       | Ok r -> (e, Ok r)
       | Error (err : Engine.Parallel.error) ->
         Engine.Log.warn "experiment %s failed after %d attempt(s): %s" e.id
           err.attempts err.message;
         (e, Error err.message))
-    exps outcomes
+    exps

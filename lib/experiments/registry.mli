@@ -20,17 +20,18 @@ val kernels_of : experiment -> string list
     experiment consumes (via [Curves.curve]) — the work the parallel
     runner front-loads. *)
 
-val run_parallel : ?jobs:int -> experiment -> Report.result
-(** Generate all of {!kernels_of}'s missing curves concurrently (see
-    [Curves.warm]), then run the experiment; the warm-up time is
-    prepended to the result's [timings] as ["curve-prewarm"]. *)
+val run_parallel : ?pool:Engine.Parallel.Pool.t -> experiment -> Report.result
+(** Generate all of {!kernels_of}'s missing curves on [pool]'s resident
+    domains (see [Curves.warm]), then run the experiment; the warm-up
+    time is prepended to the result's [timings] as ["curve-prewarm"]. *)
 
 val run_sweep :
-  ?jobs:int ->
+  ?pool:Engine.Parallel.Pool.t ->
   experiment list ->
   (experiment * (Report.result, string) result) list
-(** {!run_parallel} over a list with crash isolation: a driver that
-    raises (including an injected fault, see [Engine.Fault]) is retried
-    once and then reported as [Error message] in its slot, and the
-    remaining experiments still run.  [jobs] bounds each experiment's
-    internal curve warm-up, not cross-experiment parallelism. *)
+(** {!run_parallel} over a list with crash isolation
+    ([Engine.Parallel.Pool.isolate]): a driver that raises (including an
+    injected fault, see [Engine.Fault]) is retried once and then
+    reported as [Error message] in its slot, and the remaining
+    experiments still run.  Experiments run one at a time; [pool]
+    parallelises each one's internal curve warm-up. *)

@@ -28,7 +28,17 @@ let profile_cycles profile =
 let base_cycles cfg =
   int_of_float (Float.round (profile_cycles (Ir.Cfg.profile cfg)))
 
-let candidates ?(params = default) cfg =
+(* Work items are per hot block / per area budget — fine enough grain
+   for the pool's stealing to balance, while an omitted [?pool] (or a
+   1-wide pool) runs the exact sequential List.map. Either way the
+   items are solved independently and reassembled in input order, so
+   the curve is bit-identical across any jobs count. *)
+let pool_map pool f xs =
+  match pool with
+  | Some pool -> Engine.Parallel.Pool.map pool f xs
+  | None -> List.map f xs
+
+let candidates ?pool ?(params = default) cfg =
   Engine.Trace.with_span "curve.candidates" @@ fun () ->
   Engine.Telemetry.time "curve.candidates" @@ fun () ->
   let profile = Ir.Cfg.profile cfg in
@@ -40,19 +50,19 @@ let candidates ?(params = default) cfg =
       profile
   in
   List.concat
-    (List.mapi
-       (fun block (b, freq) ->
+    (pool_map pool
+       (fun (block, (b, freq)) ->
          Select.candidates_of_block ~constraints:params.constraints
            ~budget:params.budget ~block ~freq b.Ir.Cfg.body)
-       hot)
+       (List.mapi (fun block bf -> (block, bf)) hot))
 
-let generate ?(params = default) cfg =
+let generate ?pool ?(params = default) cfg =
   Engine.Trace.with_span "curve.generate"
     ~attrs:[ ("sweep_points", string_of_int params.sweep_points) ]
   @@ fun () ->
   Engine.Telemetry.time "curve.generate" @@ fun () ->
   Engine.Histogram.time "curve.generate_s" @@ fun () ->
-  let cands = candidates ~params cfg in
+  let cands = candidates ?pool ~params cfg in
   let base = base_cycles cfg in
   let use_greedy = List.length cands > 22 in
   if use_greedy then Engine.Telemetry.incr "curve.greedy_fallbacks";
@@ -62,12 +72,14 @@ let generate ?(params = default) cfg =
   in
   let unconstrained = select max_int in
   let max_area = Select.area_of unconstrained in
-  let points = ref [] in
-  for i = 1 to params.sweep_points do
+  let point i =
     let area_budget = max_area * i / params.sweep_points in
     let sel = select area_budget in
     let cycles = base - int_of_float (Float.round (Select.gain_of sel)) in
-    points := { Isa.Config.area = Select.area_of sel; cycles = max 1 cycles } :: !points
-  done;
+    { Isa.Config.area = Select.area_of sel; cycles = max 1 cycles }
+  in
+  let points =
+    List.rev (pool_map pool point (List.init params.sweep_points (fun i -> i + 1)))
+  in
   Engine.Telemetry.incr "curve.curves_generated";
-  Isa.Config.of_points ~base_cycles:base !points
+  Isa.Config.of_points ~base_cycles:base points

@@ -31,14 +31,23 @@ val params_key : params -> string
 (** Injective, human-readable rendering of [params], stable across runs
     — the constraints component of the persistent cache key. *)
 
-val candidates : ?params:params -> Ir.Cfg.t -> Select.candidate list
+val candidates :
+  ?pool:Engine.Parallel.Pool.t -> ?params:params -> Ir.Cfg.t ->
+  Select.candidate list
 (** Candidate custom instructions of all hot basic blocks, with profiled
-    frequencies attached. *)
+    frequencies attached.  With [?pool], each hot block is enumerated as
+    its own work item on the pool; candidate order (and hence every
+    downstream selection) is identical either way. *)
 
 val base_cycles : Ir.Cfg.t -> int
 (** Profiled software execution time of the task, in cycles. *)
 
-val generate : ?params:params -> Ir.Cfg.t -> Isa.Config.t
+val generate :
+  ?pool:Engine.Parallel.Pool.t -> ?params:params -> Ir.Cfg.t -> Isa.Config.t
 (** The task's configuration curve ([params.sweep_points] area budgets,
     each solved with branch-and-bound when the candidate set is small
-    enough and the greedy selector otherwise). *)
+    enough and the greedy selector otherwise).  With [?pool], each area
+    budget of the sweep (and each hot block of candidate enumeration) is
+    a separate pool work item, so one curve's generation spreads across
+    the pool's domains; the curve is bit-identical to the sequential
+    result. *)

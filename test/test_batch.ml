@@ -237,11 +237,14 @@ let test_batch_equals_sequential_streams () =
       let reqs = Batch.Props.stream_of inst in
       let sequential = List.map Batch.Service.respond reqs in
       let memo = Engine.Memo.create ~shards:4 ~spill:false ~namespace:"test-svc" () in
-      let batched, stats = Batch.Service.run ~jobs:2 ~memo reqs in
+      let batched, stats =
+        Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
+        Batch.Service.run ~pool ~memo reqs
+      in
       check bool "byte-identical" true (batched = sequential);
       check bool "dedup fired" true (stats.Batch.Service.dedup_hits > 0);
       check bool "sweep fired" true (stats.Batch.Service.swept > 1);
-      let warm, warm_stats = Batch.Service.run ~jobs:1 ~memo reqs in
+      let warm, warm_stats = Batch.Service.run ~memo reqs in
       check bool "warm byte-identical" true (warm = sequential);
       check int "warm answers come from the memo" warm_stats.Batch.Service.unique
         warm_stats.Batch.Service.memo_hits)

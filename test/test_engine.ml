@@ -13,22 +13,25 @@ let test_map_matches_sequential () =
   let f x = (x * x) + 1 in
   List.iter
     (fun jobs ->
+      Engine.Parallel.Pool.with_pool ~jobs @@ fun pool ->
       check (Alcotest.list int)
         (Printf.sprintf "jobs=%d" jobs)
         (List.map f xs)
-        (Engine.Parallel.map ~jobs f xs))
-    [ 1; 2; 4; 7; 200 ]
+        (Engine.Parallel.Pool.map pool f xs))
+    [ 1; 2; 4; 7 ]
 
 let test_map_empty_and_singleton () =
-  check (Alcotest.list int) "empty" [] (Engine.Parallel.map ~jobs:4 succ []);
+  Engine.Parallel.Pool.with_pool ~jobs:4 @@ fun pool ->
+  check (Alcotest.list int) "empty" [] (Engine.Parallel.Pool.map pool succ []);
   check (Alcotest.list int) "singleton" [ 2 ]
-    (Engine.Parallel.map ~jobs:4 succ [ 1 ])
+    (Engine.Parallel.Pool.map pool succ [ 1 ])
 
 exception Boom of int
 
 let test_map_propagates_exception () =
+  Engine.Parallel.Pool.with_pool ~jobs:3 @@ fun pool ->
   match
-    Engine.Parallel.map ~jobs:3
+    Engine.Parallel.Pool.map pool
       (fun x -> if x = 5 then raise (Boom x) else x)
       (List.init 10 Fun.id)
   with
@@ -38,7 +41,8 @@ let test_map_propagates_exception () =
 let test_map_reduce_order () =
   let xs = List.init 50 Fun.id in
   let got =
-    Engine.Parallel.map_reduce ~jobs:4 ~map:string_of_int
+    Engine.Parallel.Pool.with_pool ~jobs:4 @@ fun pool ->
+    Engine.Parallel.Pool.map_reduce pool ~map:string_of_int
       ~reduce:(fun acc s -> acc ^ "," ^ s)
       "" xs
   in
@@ -48,12 +52,21 @@ let test_map_reduce_order () =
   check Alcotest.string "in-order fold" want got
 
 (* The engine's headline guarantee: curve generation on a domain pool is
-   bit-identical to the sequential path, for every modelled kernel. *)
+   bit-identical to the sequential path, for every modelled kernel.
+   Kernels are outer pool items and each generation nests per-block /
+   per-budget items onto the same pool. *)
 let test_curves_parallel_equals_sequential () =
   let kernels = Kernels.all () in
-  let gen (_, cfg) = Ise.Curve.generate ~params:Ise.Curve.small cfg in
-  let seq = List.map gen kernels in
-  let par = Engine.Parallel.map ~jobs:4 gen kernels in
+  let seq =
+    List.map (fun (_, cfg) -> Ise.Curve.generate ~params:Ise.Curve.small cfg)
+      kernels
+  in
+  let par =
+    Engine.Parallel.Pool.with_pool ~jobs:4 @@ fun pool ->
+    Engine.Parallel.Pool.map pool
+      (fun (_, cfg) -> Ise.Curve.generate ~pool ~params:Ise.Curve.small cfg)
+      kernels
+  in
   List.iteri
     (fun i (a, b) ->
       let name = fst (List.nth kernels i) in

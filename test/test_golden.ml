@@ -60,7 +60,10 @@ let test_sequential_matches_expected () =
   check_lines "sequential" (List.map Batch.Service.respond (requests ()))
 
 let test_batch_cold_matches_expected () =
-  let lines, stats = Batch.Service.run ~jobs:2 ~memo:(fresh_memo ()) (requests ()) in
+  let lines, stats =
+    Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
+    Batch.Service.run ~pool ~memo:(fresh_memo ()) (requests ())
+  in
   check_lines "cold batch" lines;
   check bool "corpus contains duplicates" true (stats.Batch.Service.dedup_hits > 0);
   check bool "corpus contains a sweep" true (stats.Batch.Service.swept > 1)

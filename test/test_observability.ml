@@ -223,8 +223,17 @@ let test_spans_across_domains () =
   let items = List.init 16 Fun.id in
   let squares =
     Engine.Trace.with_span "parallel.region" @@ fun () ->
-    Engine.Parallel.map ~jobs:4
-      (fun i -> Engine.Trace.with_span "worker.item" (fun () -> i * i))
+    Engine.Parallel.Pool.with_pool ~jobs:4 @@ fun pool ->
+    Engine.Parallel.Pool.map pool
+      (fun i ->
+        Engine.Trace.with_span "worker.item" (fun () ->
+            (* a little real blocking per item so the resident worker
+               domains actually get scheduled: with helping-await on a
+               single core the caller could otherwise drain every item
+               itself and the off-main-domain assertion below would be
+               vacuous *)
+            Unix.sleepf 0.002;
+            i * i))
       items
   in
   check (Alcotest.list int) "results undisturbed" (List.map (fun i -> i * i) items)

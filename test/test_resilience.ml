@@ -233,7 +233,8 @@ let test_map_result_retries_transient_crash () =
   with_fault_spec "seed=9,parallel.worker=1x1" (fun () ->
       let recovered_before = Engine.Telemetry.counter "parallel.recovered" in
       let outcomes =
-        Engine.Parallel.map_result ~jobs:1 ~attempts:2
+        Engine.Parallel.Pool.with_pool ~jobs:1 @@ fun pool ->
+        Engine.Parallel.Pool.map_result pool ~attempts:2
           (fun x -> x * 10)
           [ 1; 2; 3 ]
       in
@@ -245,7 +246,8 @@ let test_map_result_retries_transient_crash () =
 
 let test_map_result_isolates_permanent_failure () =
   let outcomes =
-    Engine.Parallel.map_result ~jobs:2 ~attempts:2
+    Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
+    Engine.Parallel.Pool.map_result pool ~attempts:2
       (fun x -> if x = 2 then failwith "permanently broken" else x * 10)
       [ 1; 2; 3 ]
   in
