@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress clean
+.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress metrics-smoke clean
 
 all: build
 
@@ -70,6 +70,12 @@ parallel-stress: build
 	dune exec bin/isecustom.exe -- check --suite parallel --seed $(SEED) \
 	  --budget 200
 	$(MAKE) faults
+
+# Observability smoke: scrape /metrics + /healthz from a live
+# `metrics serve` over a pooled workload, then assert a faulted run
+# leaves a crash flight recording (scripts/metrics_smoke.sh).
+metrics-smoke: build
+	sh scripts/metrics_smoke.sh
 
 clean:
 	dune clean

@@ -57,7 +57,8 @@ let bench_keys =
     "parallel_speedup"; "warm_speedup"; "jobs_scaling"; "pool"; "spawned";
     "reused"; "steals"; "items"; "cache_hits"; "cache_misses";
     "curve_latency"; "p50_s"; "p90_s"; "p99_s"; "max_s"; "status";
-    "telemetry"; "histograms" ]
+    "telemetry"; "histograms"; "obs_overhead"; "obs_on_s"; "obs_off_s";
+    "overhead_frac" ]
 
 let read_file path =
   let ic = open_in path in
@@ -95,8 +96,9 @@ let engine_bench () =
   Engine.Cache.set_dir "_cache.bench";
   Fun.protect ~finally:(fun () -> Engine.Cache.set_dir saved_dir) @@ fun () ->
   ignore (Engine.Cache.clear ());
-  Engine.Telemetry.reset ();
-  Engine.Histogram.reset ();
+  (* epoch boundary: a snapshot instead of reset-then-read, so every
+     counter/histogram below is the delta over exactly this bench run *)
+  let s0 = Obs.Snapshot.take () in
   Format.fprintf fmt "@.=== engine: curve generation, %d kernels ===@."
     (List.length names);
   (* one cold pass per pool width, each from an empty disk cache on a
@@ -119,8 +121,9 @@ let engine_bench () =
   let speedup_at t = cold_seq /. Float.max 1e-9 t in
   Curves.reset ();
   let (), warm = Experiments.Report.timed (fun () -> Curves.warm names) in
-  let hits = Engine.Telemetry.counter "cache.hits"
-  and misses = Engine.Telemetry.counter "cache.misses" in
+  let d = Obs.Snapshot.delta ~before:s0 ~after:(Obs.Snapshot.take ()) in
+  let dcounter name = int_of_float (Obs.Snapshot.counter d name) in
+  let hits = dcounter "cache.hits" and misses = dcounter "cache.misses" in
   Format.fprintf fmt "cold, sequential      %8.2f s@." cold_seq;
   List.iter
     (fun (j, t) ->
@@ -133,10 +136,8 @@ let engine_bench () =
   Format.fprintf fmt "cache hits/misses     %d/%d@." hits misses;
   Format.fprintf fmt
     "pool                  %d spawned, %d ops reused domains, %d items, %d steals@."
-    (Engine.Telemetry.counter "pool.spawned")
-    (Engine.Telemetry.counter "pool.reused")
-    (Engine.Telemetry.counter "pool.items")
-    (Engine.Telemetry.counter "pool.steals");
+    (dcounter "pool.spawned") (dcounter "pool.reused") (dcounter "pool.items")
+    (dcounter "pool.steals");
   (* The 1.5x floor at 2 jobs is the point of the persistent pool; it
      is only physics on a host that actually has a second core, so on
      single-core runners the scaling is recorded but not enforced. *)
@@ -154,11 +155,11 @@ let engine_bench () =
   (* Per-curve latency distribution over both cold passes (the warm pass
      generates nothing, so it contributes no samples). *)
   let latency =
-    match Engine.Histogram.stats "curve.generate_s" with
+    match Obs.Snapshot.hist_stats d "curve.generate_s" with
     | None ->
       Format.eprintf "engine bench: no curve.generate_s samples recorded@.";
       exit 2
-    | Some (s : Engine.Histogram.stats) ->
+    | Some (s : Obs.Metrics.hstats) ->
       Format.fprintf fmt
         "curve latency         p50 %.4f s, p90 %.4f s, p99 %.4f s, max %.4f s@."
         s.p50 s.p90 s.p99 s.max;
@@ -167,12 +168,39 @@ let engine_bench () =
          \"max_s\": %.6f}"
         s.count s.p50 s.p90 s.p99 s.max
   in
-  (* telemetry was reset at bench start, so any guard exhaustion counted
-     here happened during these measurements *)
-  let status =
-    if Engine.Telemetry.counter "guard.exhausted" > 0 then "partial"
-    else "exact"
+  (* the delta starts at the bench's snapshot, so any guard exhaustion
+     counted here happened during these measurements *)
+  let status = if dcounter "guard.exhausted" > 0 then "partial" else "exact" in
+  (* Observability overhead: one more cold sequential pass with the
+     whole obs layer (registry + flight ring) disabled, one with it on.
+     The delta is what instrumentation costs the curve suite; the bench
+     enforces the < 5% ceiling whenever the timings are long enough to
+     be signal rather than scheduler noise. *)
+  let time_obs enabled =
+    Obs.Metrics.set_enabled enabled;
+    Obs.Flight.set_enabled enabled;
+    ignore (Engine.Cache.clear ());
+    Curves.reset ();
+    let (), t = Experiments.Report.timed (fun () -> Curves.warm names) in
+    Obs.Metrics.set_enabled true;
+    Obs.Flight.set_enabled true;
+    t
   in
+  let obs_off_s = time_obs false in
+  let obs_on_s = time_obs true in
+  let overhead_frac = (obs_on_s -. obs_off_s) /. Float.max 1e-9 obs_off_s in
+  Format.fprintf fmt
+    "obs overhead          %8.2f s on, %.2f s off  (%+.1f%%)@." obs_on_s
+    obs_off_s (100. *. overhead_frac);
+  if obs_off_s >= 0.5 && overhead_frac > 0.05 then begin
+    Format.eprintf
+      "engine bench: observability overhead %.1f%% above the 5%% ceiling@."
+      (100. *. overhead_frac);
+    exit 2
+  end;
+  if obs_off_s < 0.5 then
+    Format.fprintf fmt
+      "[suite under 0.5 s: overhead recorded, 5%% ceiling not enforced]@.";
   let jobs_scaling =
     String.concat ", "
       (List.map
@@ -199,19 +227,19 @@ let engine_bench () =
       \  \"cache_misses\": %d,\n\
       \  \"curve_latency\": %s,\n\
       \  \"status\": \"%s\",\n\
+      \  \"obs_overhead\": {\"obs_on_s\": %.4f, \"obs_off_s\": %.4f, \
+       \"overhead_frac\": %.4f},\n\
       \  \"telemetry\": %s,\n\
       \  \"histograms\": %s\n\
        }\n"
       (List.length names) 2 cold_seq cold_par warm (speedup_at cold_par)
       (cold_seq /. Float.max 1e-9 warm)
       jobs_scaling
-      (Engine.Telemetry.counter "pool.spawned")
-      (Engine.Telemetry.counter "pool.reused")
-      (Engine.Telemetry.counter "pool.items")
-      (Engine.Telemetry.counter "pool.steals")
-      hits misses latency status
-      (Engine.Telemetry.to_json ())
-      (Engine.Histogram.to_json ())
+      (dcounter "pool.spawned") (dcounter "pool.reused") (dcounter "pool.items")
+      (dcounter "pool.steals") hits misses latency status obs_on_s obs_off_s
+      overhead_frac
+      (Obs.Snapshot.telemetry_json d)
+      (Obs.Snapshot.histograms_json d)
   in
   let oc = open_out "BENCH_engine.json" in
   output_string oc json;

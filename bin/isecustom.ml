@@ -10,6 +10,10 @@
      experiment <id>              run one experiment from the registry
      stats <id>                   run an experiment and print its span tree,
                                   histogram percentiles and telemetry
+                                  (--prometheus / --flight for machine form)
+     metrics serve                expose /metrics, /healthz and /flight over
+                                  HTTP (TCP and/or Unix socket) while running
+                                  a workload loop — the daemon's scrape surface
      cache show|clear             inspect / empty the persistent curve cache
      batch <requests.jsonl>       answer a JSONL stream of solver requests with
                                   structural dedup, budget-sweep sharing and
@@ -98,7 +102,14 @@ let fault_spec_arg =
   in
   Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
 
-type obs = { trace_file : string option; metrics_file : string option }
+type obs = {
+  trace_file : string option;
+  metrics_file : string option;
+  (* registry state when the command started; --metrics-out reports the
+     delta against it, so module-init declares and earlier activity in
+     the process never leak into a command's numbers *)
+  baseline : Obs.Snapshot.t;
+}
 
 let obs_setup trace_file log_level log_json metrics_file deadline max_nodes
     fault_spec =
@@ -130,17 +141,24 @@ let obs_setup trace_file log_level log_json metrics_file deadline max_nodes
       | Error msg ->
         Format.eprintf "--fault-spec: %s@." msg;
         exit 1));
-  { trace_file; metrics_file }
+  (* Every solver-running command flies recorded: if the run ends with
+     a Warn+ event (guard exhaustion, injected fault, cache degrade) or
+     an uncaught exception, the ring lands in _flight/ as JSONL. *)
+  Obs.Flight.arm ();
+  { trace_file; metrics_file; baseline = Obs.Snapshot.take () }
 
 let obs_term =
   Term.(
     const obs_setup $ trace_file_arg $ log_level_arg $ log_json_arg
     $ metrics_out_arg $ deadline_arg $ max_nodes_arg $ fault_spec_arg)
 
-let metrics_json () =
+let metrics_json obs =
+  (* Snapshot delta, not reset-then-read: epoch-safe even while pool
+     workers are still reporting (see Obs.Snapshot). *)
+  let d = Obs.Snapshot.delta ~before:obs.baseline ~after:(Obs.Snapshot.take ()) in
   Printf.sprintf "{\"telemetry\": %s, \"histograms\": %s}\n"
-    (Engine.Telemetry.to_json ())
-    (Engine.Histogram.to_json ())
+    (Obs.Snapshot.telemetry_json d)
+    (Obs.Snapshot.histograms_json d)
 
 let obs_finish obs =
   (match obs.trace_file with
@@ -154,7 +172,7 @@ let obs_finish obs =
     let oc = open_out file in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (metrics_json ()));
+      (fun () -> output_string oc (metrics_json obs));
     Engine.Log.info "metrics written to %s" file
 
 let jobs_arg =
@@ -441,7 +459,22 @@ let profile_cmd =
     let doc = "Experiment id (e.g. f3.3); see $(b,experiment --list)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run obs jobs no_cache id =
+  let prometheus_arg =
+    let doc =
+      "Instead of the human-readable tables, print the labeled metric \
+       registry to standard output in Prometheus text exposition format \
+       v0.0.4 (what $(b,metrics serve) answers on /metrics)."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
+  let flight_arg =
+    let doc =
+      "After the run, dump the flight-recorder ring to standard output \
+       as JSONL (one structured event per line, oldest first)."
+    in
+    Arg.(value & flag & info [ "flight" ] ~doc)
+  in
+  let run obs jobs no_cache prometheus flight id =
     apply_no_cache no_cache;
     match Experiments.Registry.find id with
     | None ->
@@ -454,21 +487,127 @@ let profile_cmd =
           | Some pool -> Experiments.Registry.run_parallel ~pool e
           | None -> e.run ())
       in
-      Format.fprintf fmt "=== %s: %s (%.1fs) ===@." e.id e.title result.elapsed;
-      Format.fprintf fmt "@.--- span tree ---@.";
-      Engine.Trace.pp_tree fmt ();
-      Format.fprintf fmt "@.--- histograms ---@.";
-      Engine.Histogram.pp_table fmt ();
-      Format.fprintf fmt "@.--- telemetry ---@.";
-      Engine.Telemetry.pp_table fmt ();
+      if prometheus || flight then begin
+        (* machine-readable one-shot views own stdout; the banner goes
+           to stderr so the output stays parseable *)
+        Format.eprintf "=== %s: %s (%.1fs) ===@." e.id e.title result.elapsed;
+        if prometheus then print_string (Obs.Prometheus.render ());
+        if flight then print_string (Obs.Flight.to_jsonl ())
+      end
+      else begin
+        Format.fprintf fmt "=== %s: %s (%.1fs) ===@." e.id e.title
+          result.elapsed;
+        Format.fprintf fmt "@.--- span tree ---@.";
+        Engine.Trace.pp_tree fmt ();
+        Format.fprintf fmt "@.--- histograms ---@.";
+        Engine.Histogram.pp_table fmt ();
+        Format.fprintf fmt "@.--- telemetry ---@.";
+        Engine.Telemetry.pp_table fmt ()
+      end;
       obs_finish obs;
       Format.pp_print_flush fmt ()
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an experiment and print its span tree, histogram \
-             percentiles and telemetry counters.")
-    Term.(const run $ obs_term $ jobs_arg $ no_cache_arg $ id_arg)
+             percentiles and telemetry counters — or the raw registry \
+             ($(b,--prometheus)) and flight recorder ($(b,--flight)).")
+    Term.(
+      const run $ obs_term $ jobs_arg $ no_cache_arg $ prometheus_arg
+      $ flight_arg $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* `metrics serve` — the scrape surface of the future resident daemon:
+   bind /metrics, /healthz and /flight, then keep the registry live by
+   looping a workload (curve warms over the named kernels plus a small
+   synthetic batch round) until killed or --iterations runs out. *)
+let metrics_serve_cmd =
+  let port_arg =
+    let doc =
+      "Listen for HTTP scrapes on 127.0.0.1:$(docv); 0 binds an \
+       ephemeral port (printed on startup)."
+    in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let unix_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv) (removed on exit)." in
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after $(docv) workload iterations (0 = run until killed)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let serve_kernels_arg =
+    let doc =
+      "Kernels whose curve suite each workload iteration regenerates \
+       (default: batch rounds only)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let batch_round memo pool i =
+    let inst = Check.Gen.instance (Util.Prng.create (0x5eed + (i mod 64))) in
+    let reqs =
+      List.mapi
+        (fun j op ->
+          { Batch.Protocol.id = Printf.sprintf "serve-%d-%d" i j;
+            op;
+            instance = inst })
+        [ Batch.Protocol.Edf; Batch.Protocol.Rms;
+          Batch.Protocol.Pareto_approx; Batch.Protocol.Curve ]
+    in
+    ignore (Batch.Service.run ?pool ~memo (reqs @ reqs))
+  in
+  let run obs no_cache jobs port unix_path iterations names =
+    apply_no_cache no_cache;
+    if port = None && unix_path = None then begin
+      Format.eprintf "metrics serve: --port and/or --unix is required@.";
+      exit 1
+    end;
+    List.iter (fun n -> ignore (resolve n)) names;
+    let server = Obs.Serve.start ?port ?unix_path () in
+    (match Obs.Serve.port server with
+     | Some p ->
+       Format.eprintf
+         "metrics: serving /metrics /healthz /flight on http://127.0.0.1:%d@." p
+     | None -> ());
+    Option.iter
+      (fun p -> Format.eprintf "metrics: unix socket at %s@." p)
+      unix_path;
+    let memo = Engine.Memo.create ~shards:4 ~namespace:"serve" () in
+    with_jobs_pool jobs (fun pool ->
+        let rec loop i =
+          if iterations = 0 || i < iterations then begin
+            if names <> [] then begin
+              (* drop the in-process curve memo so every iteration
+                 exercises the cache/curve pipeline, not a hashtable *)
+              Experiments.Curves.reset ();
+              Experiments.Curves.warm ?pool names
+            end;
+            batch_round memo pool i;
+            Engine.Memo.observe_occupancy memo;
+            if names = [] then Unix.sleepf 0.05;
+            loop (i + 1)
+          end
+        in
+        loop 0);
+    Obs.Serve.stop server;
+    obs_finish obs
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve /metrics (Prometheus text format v0.0.4), /healthz and \
+             /flight over HTTP while looping a curve + batch workload — \
+             the first running brick of the resident solver daemon.")
+    Term.(
+      const run $ obs_term $ no_cache_arg $ jobs_arg $ port_arg $ unix_arg
+      $ iterations_arg $ serve_kernels_arg)
+
+let metrics_cmd =
+  Cmd.group
+    (Cmd.info "metrics"
+       ~doc:"Observability service endpoints (currently: $(b,serve)).")
+    [ metrics_serve_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -715,5 +854,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
-            dot_cmd; experiment_cmd; profile_cmd; cache_cmd; batch_cmd;
-            check_cmd ]))
+            dot_cmd; experiment_cmd; profile_cmd; metrics_cmd; cache_cmd;
+            batch_cmd; check_cmd ]))

@@ -57,12 +57,12 @@ let run_property ~fmt ~config (p : Prop.t) =
   let case = ref 0 in
   while !failure = None && !case < config.budget do
     let inst = Gen.instance (Util.Prng.split prng) in
-    Engine.Telemetry.incr "check.cases";
+    Obs.Metrics.inc ~labels:[ ("suite", p.Prop.suite) ] "check.cases";
     (match p.Prop.run inst with
      | Prop.Pass -> incr passed
      | Prop.Skip _ -> incr skipped
      | Prop.Fail message ->
-       Engine.Telemetry.incr "check.failures";
+       Obs.Metrics.inc ~labels:[ ("suite", p.Prop.suite) ] "check.failures";
        Engine.Log.err "check: %s/%s failed at case %d: %s" p.Prop.suite
          p.Prop.name !case message;
        let shrunk, shrink_steps =

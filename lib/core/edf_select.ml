@@ -61,6 +61,7 @@ let run ~budget tasks =
         ("budget", string_of_int budget) ]
   @@ fun () ->
   Engine.Telemetry.time "edf.select" @@ fun () ->
+  Obs.Metrics.inc ~labels:[ ("solver", "edf") ] "solver.runs";
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   if n = 0 then Selection.of_assignment []
@@ -87,6 +88,7 @@ let run_sweep ~budgets tasks =
     @@ fun () ->
     Engine.Telemetry.time "edf.select" @@ fun () ->
     Engine.Telemetry.incr "edf.sweeps";
+    Obs.Metrics.inc ~labels:[ ("solver", "edf_sweep") ] "solver.runs";
     let tasks = Array.of_list tasks in
     let n = Array.length tasks in
     if n = 0 then List.map (fun _ -> Selection.of_assignment []) budgets

@@ -21,6 +21,7 @@ let run_instrumented ?guard ?(use_bound = true) ?(fastest_first = true) ~budget
         ("budget", string_of_int budget) ]
   @@ fun () ->
   Engine.Telemetry.time "rms.select" @@ fun () ->
+  Obs.Metrics.inc ~labels:[ ("solver", "rms") ] "solver.runs";
   let tasks = Array.of_list (sort_by_priority tasks) in
   let n = Array.length tasks in
   (* Best achievable utilization of each suffix, area ignored — the

@@ -1,5 +1,11 @@
 module R = Check.Repro
 
+let () =
+  Obs.Metrics.declare ~help:"Batch requests received, by operation"
+    Obs.Metrics.Counter "batch.requests";
+  Obs.Metrics.declare ~help:"Groups recomputed inline after pool failure"
+    Obs.Metrics.Counter "batch.group_recovered"
+
 type stats = {
   requests : int;
   unique : int;
@@ -168,7 +174,12 @@ let run ?pool ?memo reqs =
   @@ fun () ->
   Engine.Histogram.time "batch.run_s" @@ fun () ->
   let prepared = List.map Protocol.prepare reqs in
-  Engine.Telemetry.add "batch.requests" (List.length prepared);
+  List.iter
+    (fun (p : Protocol.prepared) ->
+      Obs.Metrics.inc
+        ~labels:[ ("op", Protocol.op_name p.Protocol.req.Protocol.op) ]
+        "batch.requests")
+    prepared;
   let seen = Hashtbl.create 64 in
   let dedup_hits = ref 0 in
   let uniq =
@@ -207,10 +218,13 @@ let run ?pool ?memo reqs =
     List.map2
       (fun g -> function
         | Ok r -> r
-        | Error (_ : Engine.Parallel.error) ->
+        | Error (err : Engine.Parallel.error) ->
           (* the parallel pool gave up on this group (worker faults);
              recompute it inline — same code, same bytes *)
           Engine.Telemetry.incr "batch.group_recovered";
+          Obs.Flight.record ~severity:Obs.Flight.Warn "batch.group_recovered"
+            [ ("size", string_of_int (List.length g));
+              ("error", err.Engine.Parallel.message) ];
           compute_group memo g)
       groups outcomes
   in
@@ -235,4 +249,11 @@ let run ?pool ?memo reqs =
   Engine.Telemetry.add "batch.unique" stats.unique;
   Engine.Telemetry.add "batch.groups" stats.groups;
   Engine.Telemetry.add "batch.dedup_hits" stats.dedup_hits;
+  Obs.Flight.record "batch.run"
+    [ ("requests", string_of_int stats.requests);
+      ("unique", string_of_int stats.unique);
+      ("groups", string_of_int stats.groups);
+      ("dedup_hits", string_of_int stats.dedup_hits);
+      ("memo_hits", string_of_int stats.memo_hits);
+      ("swept", string_of_int stats.swept) ];
   (lines, stats)

@@ -1,6 +1,20 @@
 let format_version = 1
 let magic = "ISECACHE"
 
+(* Families declared up front so /metrics exposes them (with help
+   text) before the first hit or miss; cells carry a [namespace]
+   label, and unlabeled [Telemetry.counter] reads sum across them. *)
+let () =
+  Obs.Metrics.declare ~help:"Persistent cache hits by namespace"
+    Obs.Metrics.Counter "cache.hits";
+  Obs.Metrics.declare ~help:"Persistent cache misses by namespace"
+    Obs.Metrics.Counter "cache.misses";
+  Obs.Metrics.declare
+    ~help:"Writes degraded to memory-only after a persistence failure"
+    Obs.Metrics.Counter "cache.write_failed";
+  Obs.Metrics.declare ~help:"Corrupt cache entries discarded on read"
+    Obs.Metrics.Counter "cache.corrupt"
+
 let dir_ref =
   ref (Option.value ~default:"_cache" (Sys.getenv_opt "ISECUSTOM_CACHE_DIR"))
 
@@ -65,7 +79,9 @@ let store_versioned ~version ~namespace ~key v =
     | exception (Sys_error _ | Unix.Unix_error (_, _, _) | Fault.Injected _) ->
       (* degrade to in-memory-only: the caller keeps its computed value,
          the entry just is not persisted for the next process *)
-      Telemetry.incr "cache.write_failed";
+      Obs.Metrics.inc ~labels:[ ("namespace", namespace) ] "cache.write_failed";
+      Obs.Flight.record ~severity:Obs.Flight.Warn "cache.write_degraded"
+        [ ("namespace", namespace); ("key", key) ];
       Log.warn "cache: could not persist %s/%s — continuing without the disk \
                 entry" namespace key
   end
@@ -112,18 +128,25 @@ let find ~namespace ~key () =
       | Entry ((_, _, ns, k, _), payload) when ns = namespace && k = key ->
         (try Some (Marshal.from_string payload 0)
          with _ ->
-           Telemetry.incr "cache.corrupt";
+           Obs.Metrics.inc ~labels:[ ("namespace", namespace) ] "cache.corrupt";
+           Obs.Flight.record ~severity:Obs.Flight.Warn "cache.corrupt"
+             [ ("namespace", namespace); ("key", key);
+               ("reason", "undecodable payload") ];
            Log.warn "cache: undecodable payload in %s/%s — recomputing"
              namespace key;
            None)
       | Corrupt reason ->
-        Telemetry.incr "cache.corrupt";
+        Obs.Metrics.inc ~labels:[ ("namespace", namespace) ] "cache.corrupt";
+        Obs.Flight.record ~severity:Obs.Flight.Warn "cache.corrupt"
+          [ ("namespace", namespace); ("key", key); ("reason", reason) ];
         Log.warn "cache: %s in %s (%s/%s) — recomputing"
           reason (file_of ~namespace ~key) namespace key;
         None
       | Entry _ | Missing -> None
     in
-    Telemetry.incr (if result = None then "cache.misses" else "cache.hits");
+    Obs.Metrics.inc
+      ~labels:[ ("namespace", namespace) ]
+      (if result = None then "cache.misses" else "cache.hits");
     Log.debug "cache: %s %s/%s"
       (if result = None then "miss" else "hit")
       namespace key;

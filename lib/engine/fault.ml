@@ -16,6 +16,10 @@ let none = { seed = 0; points = [] }
 
 type point_state = { spec_ : point_spec; mutable fired : int }
 
+let () =
+  Obs.Metrics.declare ~help:"Injected faults fired, by injection point"
+    Obs.Metrics.Counter "fault.injected"
+
 let lock = Mutex.create ()
 let enabled = ref false
 let table : (string, point_state) Hashtbl.t = Hashtbl.create 8
@@ -69,8 +73,12 @@ let fires point =
              true
            end)
   && begin
-       Telemetry.incr "fault.injected";
-       Telemetry.incr ("fault.injected." ^ point);
+       (* One labeled family replaces the old per-point dynamic
+          counter names; the aggregate [Telemetry.counter
+          "fault.injected"] read is the sum across points. *)
+       Obs.Metrics.inc ~labels:[ ("point", point) ] "fault.injected";
+       Obs.Flight.record ~severity:Obs.Flight.Warn "fault.injected"
+         [ ("point", point) ];
        Log.debug "fault: injecting failure at %s" point;
        true
      end

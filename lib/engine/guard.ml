@@ -59,9 +59,21 @@ let string_of_status = function
 
 let pp_status fmt s = Format.pp_print_string fmt (string_of_status s)
 
+let () =
+  Obs.Metrics.declare ~help:"Guarded solver runs stopped early, by reason"
+    Obs.Metrics.Counter "guard.exhausted"
+
+let reason_label = function
+  | Deadline _ -> "deadline"
+  | Fuel _ -> "fuel"
+  | Injected -> "injected"
+
 let exhaust g reason =
   g.reason <- Some reason;
-  Telemetry.incr "guard.exhausted";
+  Obs.Metrics.inc ~labels:[ ("reason", reason_label reason) ] "guard.exhausted";
+  Obs.Flight.record ~severity:Obs.Flight.Warn "guard.exhausted"
+    [ ("reason", string_of_reason reason);
+      ("used", string_of_int g.used) ];
   Log.info "guard: stopping early (%s)" (string_of_reason reason)
 
 let tick ?(cost = 1) g =

@@ -1,22 +1,10 @@
-(* Geometric buckets with ratio 2^(1/8): bucket [i] covers
-   [2^((i-offset)/8), 2^((i-offset+1)/8)).  480 buckets span 2^-30 to
-   2^30 — nanoseconds to decades in seconds, or counts up to ~1e9 —
-   and anything outside clamps into the end buckets.  A sample costs
-   one log2 and one array increment under the registry mutex. *)
+(* Compatibility veneer over Obs.Metrics histogram families (same
+   geometric buckets: ratio 2^(1/8), 480 buckets spanning 2^±30).
+   Labeled cells written by instrumented call sites merge into the
+   unlabeled reads here, so legacy callers keep seeing family-wide
+   distributions. *)
 
-let sub_buckets = 8
-let offset = 30 * sub_buckets
-let n_buckets = 2 * offset
-
-type h = {
-  buckets : int array;
-  mutable count : int;
-  mutable sum : float;
-  mutable min : float;
-  mutable max : float;
-}
-
-type stats = {
+type stats = Obs.Metrics.hstats = {
   count : int;
   sum : float;
   min : float;
@@ -26,88 +14,22 @@ type stats = {
   p99 : float;
 }
 
-let lock = Mutex.create ()
-let tbl : (string, h) Hashtbl.t = Hashtbl.create 16
-
-let protect f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-
-let bucket_of v =
-  if v <= 0. then 0
-  else
-    let i = offset + int_of_float (Float.floor (Float.log2 v *. float_of_int sub_buckets)) in
-    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
-
-(* Geometric midpoint of a bucket — the representative value quantile
-   estimates report before clamping to the observed range. *)
-let value_of i =
-  Float.exp2 ((float_of_int (i - offset) +. 0.5) /. float_of_int sub_buckets)
-
-let observe name v =
-  if not (Float.is_finite v) then Telemetry.incr "histogram.dropped"
-  else
-    protect (fun () ->
-        let h =
-          match Hashtbl.find_opt tbl name with
-          | Some h -> h
-          | None ->
-            let h =
-              { buckets = Array.make n_buckets 0;
-                count = 0; sum = 0.; min = infinity; max = neg_infinity }
-            in
-            Hashtbl.add tbl name h;
-            h
-        in
-        h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-        h.count <- h.count + 1;
-        h.sum <- h.sum +. v;
-        if v < h.min then h.min <- v;
-        if v > h.max then h.max <- v)
-
-let time name f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () -> observe name (Unix.gettimeofday () -. t0))
-    f
-
-let quantile_of (h : h) q =
-  let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
-  if rank >= h.count then h.max
-  else
-  let rec walk i seen =
-    if i >= n_buckets then h.max
-    else
-      let seen = seen + h.buckets.(i) in
-      if seen >= rank then Float.min h.max (Float.max h.min (value_of i))
-      else walk (i + 1) seen
-  in
-  walk 0 0
-
-let stats_of (h : h) =
-  { count = h.count; sum = h.sum; min = h.min; max = h.max;
-    p50 = quantile_of h 0.5; p90 = quantile_of h 0.9; p99 = quantile_of h 0.99 }
-
-let find name = protect (fun () -> Hashtbl.find_opt tbl name)
-
-let stats name =
-  match find name with
-  | Some h when h.count > 0 -> Some (stats_of h)
-  | Some _ | None -> None
-
-let quantile name q =
-  match find name with
-  | Some h when h.count > 0 -> Some (quantile_of h q)
-  | Some _ | None -> None
+let observe name v = Obs.Metrics.observe name v
+let time name f = Obs.Metrics.time name f
+let stats name = Obs.Metrics.hist_stats name
+let quantile name q = Obs.Metrics.hist_quantile name q
 
 let all () =
-  protect (fun () ->
-      Hashtbl.fold
-        (fun k (h : h) acc -> if h.count > 0 then (k, stats_of h) :: acc else acc)
-        tbl [])
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  List.filter_map
+    (fun (f : Obs.Metrics.family) ->
+      if f.Obs.Metrics.fam_kind <> Obs.Metrics.Hist then None
+      else
+        match Obs.Metrics.hist_stats f.Obs.Metrics.fam_name with
+        | Some s when s.count > 0 -> Some (f.Obs.Metrics.fam_name, s)
+        | Some _ | None -> None)
+    (Obs.Metrics.dump ())
 
-let reset () = protect (fun () -> Hashtbl.reset tbl)
+let reset () = Obs.Metrics.reset ~kind:Obs.Metrics.Hist ()
 
 let pp_table fmt () =
   match all () with

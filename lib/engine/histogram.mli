@@ -9,7 +9,12 @@
     are additionally clamped to the observed [min, max].  All operations
     are mutex-protected and domain-safe, like the rest of the engine's
     observability layer.  Names are dotted paths sharing {!Telemetry}'s
-    convention, e.g. ["curve.generate_s"], ["select.bnb_nodes"]. *)
+    convention, e.g. ["curve.generate_s"], ["select.bnb_nodes"].
+
+    Since the labeled registry landed, this module is a compatibility
+    veneer over [Obs.Metrics] histogram families (same bucket
+    geometry); labeled cells written by instrumented call sites merge
+    into the unlabeled reads here. *)
 
 type stats = {
   count : int;
@@ -39,9 +44,10 @@ val all : unit -> (string * stats) list
 (** Every non-empty histogram, sorted by name. *)
 
 val reset : unit -> unit
-(** Drop all histograms.  Like {!Telemetry.reset}, callers must ensure
-    no worker is concurrently observing (quiescence), or samples from
-    the two epochs will mix. *)
+(** Drop all histograms.  Like {!Telemetry.reset} this is not an epoch
+    barrier; prefer [Obs.Snapshot.take]/[Obs.Snapshot.delta] for
+    epoch-safe reads (as the CLI and bench do) and keep [reset] for
+    test isolation. *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable table: count, p50, p90, p99, max per histogram. *)

@@ -2,6 +2,18 @@ type shard = { lock : Mutex.t; table : (string, string) Hashtbl.t }
 
 type t = { shards : shard array; namespace : string; spill : bool }
 
+let () =
+  Obs.Metrics.declare ~help:"Memo hits (in-memory or spilled) by namespace"
+    Obs.Metrics.Counter "memo.hits";
+  Obs.Metrics.declare ~help:"Memo hits served from the spill cache"
+    Obs.Metrics.Counter "memo.spill_hits";
+  Obs.Metrics.declare ~help:"Memo misses by namespace"
+    Obs.Metrics.Counter "memo.misses";
+  Obs.Metrics.declare ~help:"Memo stores by namespace"
+    Obs.Metrics.Counter "memo.stores";
+  Obs.Metrics.declare ~help:"Entries resident per memo shard"
+    Obs.Metrics.Gauge "memo.shard_items"
+
 let create ?(shards = 16) ?(spill = true) ~namespace () =
   if shards < 1 then invalid_arg "Memo.create: shards must be >= 1";
   { shards =
@@ -29,10 +41,11 @@ let with_lock s f =
   Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let find t ~key =
+  let ns = [ ("namespace", t.namespace) ] in
   let s = shard_of t key in
   match with_lock s (fun () -> Hashtbl.find_opt s.table key) with
   | Some v ->
-    Telemetry.incr "memo.hits";
+    Obs.Metrics.inc ~labels:ns "memo.hits";
     Some v
   | None ->
     let spilled =
@@ -41,18 +54,18 @@ let find t ~key =
     in
     (match spilled with
      | Some v ->
-       Telemetry.incr "memo.hits";
-       Telemetry.incr "memo.spill_hits";
+       Obs.Metrics.inc ~labels:ns "memo.hits";
+       Obs.Metrics.inc ~labels:ns "memo.spill_hits";
        with_lock s (fun () -> Hashtbl.replace s.table key v);
        Some v
      | None ->
-       Telemetry.incr "memo.misses";
+       Obs.Metrics.inc ~labels:ns "memo.misses";
        None)
 
 let store t ~key value =
   let s = shard_of t key in
   with_lock s (fun () -> Hashtbl.replace s.table key value);
-  Telemetry.incr "memo.stores";
+  Obs.Metrics.inc ~labels:[ ("namespace", t.namespace) ] "memo.stores";
   if t.spill then Cache.store ~namespace:t.namespace ~key value
 
 let find_or_compute t ~key f =
@@ -71,10 +84,13 @@ let size t =
     0 t.shards
 
 let observe_occupancy t =
-  Array.iter
-    (fun s ->
-      Histogram.observe "memo.shard_occupancy"
-        (float_of_int (with_lock s (fun () -> Hashtbl.length s.table))))
+  Array.iteri
+    (fun i s ->
+      let len = float_of_int (with_lock s (fun () -> Hashtbl.length s.table)) in
+      Histogram.observe "memo.shard_occupancy" len;
+      Obs.Metrics.set
+        ~labels:[ ("namespace", t.namespace); ("shard", string_of_int i) ]
+        "memo.shard_items" len)
     t.shards
 
 let clear t =

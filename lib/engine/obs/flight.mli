@@ -1,0 +1,66 @@
+(** Crash flight recorder: a bounded, mutex-protected ring of
+    structured events.
+
+    Instrumented slow paths (guard exhaustion, fault injection, cache
+    write-degrade, pool steal stalls, batch outcomes) [record] here;
+    the ring keeps the most recent [capacity] events across all
+    domains in one global order.  When {!arm}ed, the ring dumps as
+    JSONL to [<dir>/flight-<pid>.jsonl] on [at_exit] (only if a Warn
+    or Crash event was recorded — clean runs leave no file) and on any
+    uncaught exception.
+
+    One JSON object per line:
+    [{"seq": n, "t": epoch_s, "domain": id, "severity":
+    "info"|"warn"|"crash", "kind": "...", ...string fields...}].
+    [seq] is globally monotone, so a gap before the oldest retained
+    event shows how much history the ring dropped. *)
+
+type severity = Info | Warn | Crash
+
+type event = {
+  seq : int;
+  t : float;
+  domain : int;
+  severity : severity;
+  kind : string;
+  fields : (string * string) list;
+}
+
+val record : ?severity:severity -> string -> (string * string) list -> unit
+(** [record kind fields] appends an event (default severity [Info] —
+    only [Warn]+ makes an armed process dump on exit). *)
+
+val events : unit -> event list
+(** Retained events, oldest first. *)
+
+val worst_severity : unit -> severity
+(** Highest severity recorded since the last {!clear}. *)
+
+val clear : unit -> unit
+(** Empty the ring and reset the severity high-water mark (the global
+    [seq] keeps counting). *)
+
+val set_capacity : int -> unit
+(** Replace the ring (clearing it) with one of the given capacity
+    (clamped to >= 1; default 1024). *)
+
+val capacity : unit -> int
+
+val set_enabled : bool -> unit
+(** Kill-switch used by the overhead bench; disabled [record]s return
+    before taking the lock. *)
+
+val to_jsonl : unit -> string
+(** The ring as JSONL (possibly empty). *)
+
+val write : string -> unit
+(** Write {!to_jsonl} to a file, creating the parent directory if
+    missing. *)
+
+val arm : ?dir:string -> unit -> unit
+(** Install the [at_exit] dump and uncaught-exception handler
+    (idempotent).  [dir] overrides the dump directory — default
+    [$ISECUSTOM_FLIGHT_DIR] or ["_flight"].  At most one dump is
+    written per process. *)
+
+val severity_string : severity -> string

@@ -1,0 +1,23 @@
+(** Minimal JSON emission helpers shared by every observability sink
+    (the metric registry, flight recorder, and — via the [Engine]
+    re-export — [Trace] and [Log]).  Emission only — parsing stays out
+    of the library; tests carry their own checker. *)
+
+val escape : string -> string
+(** Escape a string's content for inclusion between double quotes:
+    quotes, backslashes and control characters become their JSON escape
+    sequences. *)
+
+val string : string -> string
+(** A complete JSON string literal, quotes included. *)
+
+val float : float -> string
+(** A JSON number.  Non-finite values (nan, ±inf), which JSON cannot
+    represent, are emitted as [null]. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] braces already-serialised [(key, json-value)] pairs;
+    keys are escaped here. *)
+
+val arr : string list -> string
+(** Bracket already-serialised values. *)

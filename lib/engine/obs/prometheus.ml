@@ -1,0 +1,142 @@
+(* Prometheus text exposition format v0.0.4.  Metric names sanitise
+   dots to underscores ([cache.hits] -> [cache_hits]); counters take
+   the conventional [_total] suffix and seconds-valued families a
+   [_seconds] unit suffix, so [pool.steal_wait_s] scrapes as
+   [pool_steal_wait_s_bucket{le=...}] etc.  Histogram cells downsample
+   the internal 480-bucket 2^(1/8) geometry onto a power-of-8 ladder
+   (2^-20 .. 2^10 plus +Inf) — every ladder edge is an exact internal
+   bucket boundary, so cumulative counts are exact, not interpolated. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize_name name =
+  let s = String.map (fun c -> if is_name_char c then c else '_') name in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+let sanitize_label_name name =
+  let s = sanitize_name name in
+  (* Label names may not contain colons. *)
+  String.map (fun c -> if c = ':' then '_' else c) s
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let escape_help v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let format_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let labels_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize_label_name k)
+               (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Exposed bucket ladder: upper bounds 2^k for k in -20..10 step 3,
+   then +Inf.  Cumulative count at le = 2^k sums internal buckets
+   [0, bucket_offset + sub_buckets*k). *)
+let ladder_exponents = List.init 11 (fun i -> -20 + (3 * i))
+
+let cumulative_le (h : Metrics.histdata) k =
+  let hi =
+    Stdlib.min Metrics.n_buckets
+      (Stdlib.max 0 (Metrics.bucket_offset + (Metrics.sub_buckets * k)))
+  in
+  let s = ref 0 in
+  for i = 0 to hi - 1 do
+    s := !s + h.Metrics.hbuckets.(i)
+  done;
+  !s
+
+let kind_string = function
+  | Metrics.Counter -> "counter"
+  | Metrics.Gauge -> "gauge"
+  | Metrics.Hist -> "histogram"
+
+let render_family b (f : Metrics.family) =
+  let base =
+    sanitize_name f.Metrics.fam_name
+    ^ (if f.Metrics.fam_unit_s then "_seconds" else "")
+  in
+  let mname =
+    match f.Metrics.fam_kind with
+    | Metrics.Counter -> base ^ "_total"
+    | Metrics.Gauge | Metrics.Hist -> base
+  in
+  (match f.Metrics.fam_help with
+  | Some h ->
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n" mname (escape_help h))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "# TYPE %s %s\n" mname (kind_string f.Metrics.fam_kind));
+  List.iter
+    (fun (ls, v) ->
+      match v with
+      | Metrics.C x | Metrics.G x ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" mname (labels_string ls)
+             (format_value x))
+      | Metrics.H h ->
+        List.iter
+          (fun k ->
+            let le = format_value (Float.exp2 (float_of_int k)) in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" mname
+                 (labels_string (ls @ [ ("le", le) ]))
+                 (cumulative_le h k)))
+          ladder_exponents;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" mname
+             (labels_string (ls @ [ ("le", "+Inf") ]))
+             h.Metrics.hcount);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" mname (labels_string ls)
+             (format_value h.Metrics.hsum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" mname (labels_string ls)
+             h.Metrics.hcount))
+    f.Metrics.fam_cells
+
+let render_families fams =
+  let b = Buffer.create 4096 in
+  List.iter (render_family b) fams;
+  Buffer.contents b
+
+let render () = render_families (Metrics.dump ())

@@ -1,0 +1,24 @@
+(** Prometheus text exposition format v0.0.4.
+
+    Dotted registry names sanitise to underscores; counters gain the
+    conventional [_total] suffix and seconds-valued families a
+    [_seconds] unit suffix.  Histograms expose a power-of-8 bucket
+    ladder ([le] = 2{^k} for k in -20..10 step 3, plus [+Inf]) whose
+    edges coincide with internal bucket boundaries, so cumulative
+    counts are exact.  [# HELP]/[# TYPE] lines are emitted for every
+    family, including declared-but-unsampled ones. *)
+
+val render : unit -> string
+(** Exposition of the live registry — the body [GET /metrics]
+    serves. *)
+
+val render_families : Metrics.family list -> string
+(** Exposition of an explicit family list (e.g. a {!Snapshot}
+    delta). *)
+
+(** {1 Building blocks} (exposed for tests) *)
+
+val sanitize_name : string -> string
+val escape_label_value : string -> string
+val format_value : float -> string
+val ladder_exponents : int list

@@ -1,0 +1,186 @@
+(* Minimal HTTP/1.1 scrape endpoint — the first running brick of the
+   resident solver daemon.  One background domain multiplexes the
+   listening sockets (TCP and/or Unix) with select, answering GET
+   /metrics, /healthz, and /flight; each connection is read once,
+   answered with Content-Length + Connection: close, and closed.
+   That is all a Prometheus scraper or load-balancer health probe
+   needs, and it keeps the server free of request-pipelining state. *)
+
+type t = {
+  socks : Unix.file_descr list;
+  unix_path : string option;
+  bound_port : int option;
+  stop_flag : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let http_response ?(status = "200 OK") ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let route ?healthz path =
+  let metric_path =
+    match path with
+    | "/metrics" | "/healthz" | "/flight" -> path
+    | _ -> "other"
+  in
+  Metrics.inc ~labels:[ ("path", metric_path) ] "obs.http_requests";
+  match path with
+  | "/metrics" ->
+    http_response
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+      (Prometheus.render ())
+  | "/healthz" ->
+    let ok =
+      match healthz with
+      | None -> true
+      | Some f -> ( try f () with _ -> false)
+    in
+    if ok then http_response ~content_type:"text/plain" "ok\n"
+    else
+      http_response ~status:"503 Service Unavailable"
+        ~content_type:"text/plain" "unhealthy\n"
+  | "/flight" ->
+    http_response ~content_type:"application/x-ndjson" (Flight.to_jsonl ())
+  | _ ->
+    http_response ~status:"404 Not Found" ~content_type:"text/plain"
+      "not found\n"
+
+(* Read until the request line is complete; headers and body (GETs
+   have none) are ignored. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      match String.index_opt (Buffer.contents buf) '\n' with
+      | Some i -> Some (String.sub (Buffer.contents buf) 0 i)
+      | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> None)
+  in
+  go ()
+
+let handle_conn ?healthz fd =
+  match read_request_line fd with
+  | None -> ()
+  | Some line ->
+    let response =
+      match String.split_on_char ' ' (String.trim line) with
+      | "GET" :: target :: _ ->
+        let path =
+          match String.index_opt target '?' with
+          | Some i -> String.sub target 0 i
+          | None -> target
+        in
+        route ?healthz path
+      | _ ->
+        http_response ~status:"405 Method Not Allowed"
+          ~content_type:"text/plain" "method not allowed\n"
+    in
+    let b = Bytes.of_string response in
+    let rec send off =
+      if off < Bytes.length b then
+        match Unix.write fd b off (Bytes.length b - off) with
+        | 0 -> ()
+        | n -> send (off + n)
+        | exception Unix.Unix_error _ -> ()
+    in
+    send 0
+
+let accept_loop t ?healthz () =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select t.socks [] [] 0.2 with
+      | ready, _, _ ->
+        List.iter
+          (fun s ->
+            match Unix.accept s with
+            | fd, _ ->
+              (* A silent client must not wedge the accept domain. *)
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+               with Unix.Unix_error _ -> ());
+              (try handle_conn ?healthz fd with _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ -> ())
+          ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let tcp_listener host port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    let addr = Unix.inet_addr_of_string host in
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock 64;
+    (* select-then-accept must never block if the peer vanished. *)
+    Unix.set_nonblock sock;
+    let bound =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    (sock, bound)
+  with e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e
+
+let unix_listener path =
+  (if Sys.file_exists path then
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 64;
+    Unix.set_nonblock sock;
+    sock
+  with e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e
+
+let start ?(host = "127.0.0.1") ?port ?unix_path ?healthz () =
+  if port = None && unix_path = None then
+    invalid_arg "Obs.Serve.start: need ~port and/or ~unix_path";
+  let tcp = Option.map (tcp_listener host) port in
+  let uds =
+    try Option.map unix_listener unix_path
+    with e ->
+      Option.iter (fun (s, _) -> try Unix.close s with _ -> ()) tcp;
+      raise e
+  in
+  let socks =
+    (match tcp with Some (s, _) -> [ s ] | None -> [])
+    @ (match uds with Some s -> [ s ] | None -> [])
+  in
+  let t =
+    { socks;
+      unix_path = (match uds with Some _ -> unix_path | None -> None);
+      bound_port = Option.map snd tcp;
+      stop_flag = Atomic.make false;
+      dom = None }
+  in
+  t.dom <- Some (Domain.spawn (accept_loop t ?healthz));
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    Option.iter Domain.join t.dom;
+    List.iter
+      (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+      t.socks;
+    Option.iter
+      (fun p -> try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      t.unix_path
+  end

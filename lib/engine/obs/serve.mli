@@ -1,0 +1,36 @@
+(** Minimal HTTP/1.1 metrics endpoint — the scrape surface of the
+    future resident solver daemon.
+
+    A background domain accepts connections on a loopback TCP port
+    and/or a Unix-domain socket and answers:
+
+    - [GET /metrics] — Prometheus text format v0.0.4 ({!Prometheus.render})
+    - [GET /healthz] — ["ok"] (or 503 if the [healthz] callback says no)
+    - [GET /flight] — the flight-recorder ring as JSONL
+
+    Connections are one-shot ([Connection: close]); anything that is
+    not a GET of a known path gets 404/405.  Scrapes themselves count
+    under [obs.http_requests{path=...}]. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?unix_path:string ->
+  ?healthz:(unit -> bool) ->
+  unit ->
+  t
+(** Bind and spawn the accept domain.  At least one of [port] /
+    [unix_path] is required ([Invalid_argument] otherwise).  [host]
+    defaults to ["127.0.0.1"]; [port] may be [0] to bind an ephemeral
+    port (read it back with {!port}).  A stale socket file at
+    [unix_path] is unlinked first.  Raises [Unix.Unix_error] if
+    binding fails. *)
+
+val port : t -> int option
+(** The bound TCP port, if a TCP listener was requested. *)
+
+val stop : t -> unit
+(** Stop accepting (within the 200ms poll interval), join the domain,
+    close the sockets, and unlink the Unix socket path.  Idempotent. *)

@@ -1,0 +1,48 @@
+(** Epoch reads without epoch barriers.
+
+    [let s0 = Snapshot.take () in ...work...; let d = Snapshot.delta
+    ~before:s0 ~after:(Snapshot.take ())] attributes every sample to
+    exactly one epoch, with no quiescence requirement — the pattern
+    that replaces [Telemetry.reset]/[Histogram.reset] bracketing in
+    the CLI and bench.  A snapshot is an immutable deep copy; taking
+    one costs one pass over the registry under its mutex. *)
+
+type t
+
+val take : unit -> t
+(** Consistent deep copy of the live registry. *)
+
+val delta : before:t -> after:t -> t
+(** Per-cell difference: counters and histogram buckets/count/sum
+    subtract; gauges keep the [after] level (they are levels, not
+    flows); histogram min/max come from [after] — exact when [before]
+    had no samples, conservative otherwise.  Families or cells born
+    after [before] pass through unchanged. *)
+
+val families : t -> Metrics.family list
+
+(** {1 Point reads} *)
+
+val counter : ?labels:Metrics.labels -> t -> string -> float
+(** Cell value, or the sum across all cells when [labels] is omitted;
+    [0.] for missing families. *)
+
+val gauge : ?labels:Metrics.labels -> t -> string -> float
+
+val hist_data : ?labels:Metrics.labels -> t -> string -> Metrics.histdata option
+
+val hist_stats : ?labels:Metrics.labels -> t -> string -> Metrics.hstats option
+
+(** {1 JSON emission}
+
+    Same shapes as [Engine.Telemetry.to_json] and
+    [Engine.Histogram.to_json], so bench/CLI metric files keep their
+    schema while switching to snapshot deltas. *)
+
+val telemetry_json : t -> string
+(** [{"counters": {...ints...}, "timers": {...seconds...}}] over the
+    snapshot's counter families (label cells summed). *)
+
+val histograms_json : t -> string
+(** [{name: {count,sum,min,max,p50,p90,p99}}] over the snapshot's
+    histogram families (label cells merged). *)

@@ -1,5 +1,24 @@
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+let () =
+  Obs.Metrics.declare ~help:"Worker domains spawned" Obs.Metrics.Counter
+    "pool.spawned";
+  Obs.Metrics.declare ~help:"Pool operations served by resident workers"
+    Obs.Metrics.Counter "pool.reused";
+  Obs.Metrics.declare ~help:"Tasks executed, by claim mode (local/stolen)"
+    Obs.Metrics.Counter "pool.items";
+  Obs.Metrics.declare ~help:"Tasks claimed from another domain's deque"
+    Obs.Metrics.Counter "pool.steals";
+  Obs.Metrics.declare ~help:"Worker domains of the most recent pool"
+    Obs.Metrics.Gauge "pool.jobs";
+  Obs.Metrics.declare ~help:"Time spent hunting before a successful steal"
+    Obs.Metrics.Hist "pool.steal_wait_s"
+
+(* A steal that had to hunt longer than this leaves an Info breadcrumb
+   in the flight recorder: not an error (an idle worker legitimately
+   waits), but the signal the steal-stall watchdog looks at. *)
+let steal_stall_threshold_s = 0.5
+
 type error = { attempts : int; message : string }
 
 (* One item, with bounded retry.  Retrying covers transient failures
@@ -13,7 +32,11 @@ let run_item ~attempts f x =
       f x
     with
     | v ->
-      if attempt > 1 then Telemetry.incr "parallel.recovered";
+      if attempt > 1 then begin
+        Telemetry.incr "parallel.recovered";
+        Obs.Flight.record "pool.item_recovered"
+          [ ("attempts", string_of_int attempt) ]
+      end;
       Ok v
     | exception e ->
       if attempt < attempts then begin
@@ -22,6 +45,9 @@ let run_item ~attempts f x =
       end
       else begin
         Telemetry.incr "parallel.item_failed";
+        Obs.Flight.record ~severity:Obs.Flight.Warn "pool.item_failed"
+          [ ("attempts", string_of_int attempt);
+            ("error", Printexc.to_string e) ];
         Log.warn "parallel: item failed after %d attempt%s: %s" attempt
           (if attempt = 1 then "" else "s")
           (Printexc.to_string e);
@@ -143,14 +169,23 @@ module Pool = struct
       | Some t0 -> Unix.gettimeofday () -. t0
       | None -> 0.
     in
-    Histogram.observe "pool.steal_wait_s" (max 0. waited)
+    let waited = max 0. waited in
+    Histogram.observe "pool.steal_wait_s" waited;
+    (* Info, not Warn: a long hunt usually just means the pool went
+       idle between operations, so it must not trip the at_exit
+       crash-dump on clean runs. *)
+    if waited > steal_stall_threshold_s then
+      Obs.Flight.record "pool.steal_stall"
+        [ ("waited_s", Printf.sprintf "%.3f" waited) ]
 
   (* Tasks are fully wrapped by their producers (map / map_result /
      submit capture outcomes themselves); a task that still raises is a
      pool bug, contained here so one bad closure cannot kill a resident
      worker. *)
-  let exec task =
-    Telemetry.incr "pool.items";
+  let exec ~stolen task =
+    Obs.Metrics.inc
+      ~labels:[ ("mode", if stolen then "stolen" else "local") ]
+      "pool.items";
     try task () with
     | e -> Log.warn "pool: task raised %s (dropped)" (Printexc.to_string e)
 
@@ -161,7 +196,7 @@ module Pool = struct
     match try_claim pool ~me with
     | Some (task, stolen) ->
       if stolen then note_steal ~hunt;
-      exec task;
+      exec ~stolen task;
       worker_loop pool ~me ~hunt:None
     | None ->
       if Atomic.get pool.stopped then ()
@@ -185,7 +220,7 @@ module Pool = struct
       match try_claim pool ~me with
       | Some (task, stolen) ->
         if stolen then note_steal ~hunt;
-        exec task;
+        exec ~stolen task;
         help pool ~me ~done_ ~hunt:None
       | None ->
         let hunt =
@@ -223,6 +258,7 @@ module Pool = struct
                 Trace.flush_local ()));
       Telemetry.add "pool.spawned" (jobs - 1)
     end;
+    Obs.Metrics.set "pool.jobs" (float_of_int jobs);
     pool
 
   let shutdown pool =

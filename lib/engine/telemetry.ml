@@ -1,52 +1,51 @@
-(* Counters and timers are shared by every domain of the parallel
-   engine, so all access goes through one mutex; the hot paths touch
-   them once per algorithm invocation, not per inner-loop step, which
-   keeps contention negligible. *)
+(* Compatibility veneer over the labeled registry (Obs.Metrics).
+   Every legacy name is a counter family there; instrumented call
+   sites may attach labels to the same names ([cache.hits{namespace}],
+   [fault.injected{point}], ...), and the reads here aggregate across
+   label cells, so unlabeled callers keep seeing the familiar totals.
+   Timers are seconds-unit counter families ([unit_s]), which is also
+   what routes them to the "timers" half of [to_json]. *)
 
-let lock = Mutex.create ()
-let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
-let timers_tbl : (string, float) Hashtbl.t = Hashtbl.create 32
-
-let protect f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-
-let add name n =
-  if n <> 0 then
-    protect (fun () ->
-        let v = Option.value ~default:0 (Hashtbl.find_opt counters_tbl name) in
-        Hashtbl.replace counters_tbl name (v + n))
-
-let incr name = add name 1
-
-let counter name =
-  protect (fun () ->
-      Option.value ~default:0 (Hashtbl.find_opt counters_tbl name))
-
-let add_time name dt =
-  protect (fun () ->
-      let v = Option.value ~default:0. (Hashtbl.find_opt timers_tbl name) in
-      Hashtbl.replace timers_tbl name (v +. dt))
+let add name n = if n <> 0 then Obs.Metrics.inc ~by:(float_of_int n) name
+let incr name = Obs.Metrics.inc name
+let counter name = int_of_float (Obs.Metrics.sum name)
+let add_time name dt = Obs.Metrics.inc_s name dt
 
 let time name f =
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0)) f
 
-let timer name =
-  protect (fun () ->
-      Option.value ~default:0. (Hashtbl.find_opt timers_tbl name))
+let timer name = Obs.Metrics.sum name
 
-let sorted tbl =
-  protect (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let family_total (f : Obs.Metrics.family) =
+  List.fold_left
+    (fun acc (_, v) ->
+      match v with
+      | Obs.Metrics.C x | Obs.Metrics.G x -> acc +. x
+      | Obs.Metrics.H _ -> acc)
+    0. f.Obs.Metrics.fam_cells
 
-let counters () = sorted counters_tbl
-let timers () = sorted timers_tbl
+let counter_families () =
+  List.filter
+    (fun (f : Obs.Metrics.family) -> f.Obs.Metrics.fam_kind = Obs.Metrics.Counter)
+    (Obs.Metrics.dump ())
 
-let reset () =
-  protect (fun () ->
-      Hashtbl.reset counters_tbl;
-      Hashtbl.reset timers_tbl)
+let counters () =
+  List.filter_map
+    (fun (f : Obs.Metrics.family) ->
+      if f.Obs.Metrics.fam_unit_s || f.Obs.Metrics.fam_cells = [] then None
+      else Some (f.Obs.Metrics.fam_name, int_of_float (family_total f)))
+    (counter_families ())
+
+let timers () =
+  List.filter_map
+    (fun (f : Obs.Metrics.family) ->
+      if f.Obs.Metrics.fam_unit_s && f.Obs.Metrics.fam_cells <> [] then
+        Some (f.Obs.Metrics.fam_name, family_total f)
+      else None)
+    (counter_families ())
+
+let reset () = Obs.Metrics.reset ~kind:Obs.Metrics.Counter ()
 
 let pp_table fmt () =
   let cs = counters () and ts = timers () in

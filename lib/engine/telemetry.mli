@@ -5,7 +5,15 @@
 
     All operations are domain-safe, so workers of {!Parallel} can report
     concurrently.  Counter names are dotted paths, e.g.
-    ["enumerate.candidates"], ["select.bnb_nodes"], ["cache.hits"]. *)
+    ["enumerate.candidates"], ["select.bnb_nodes"], ["cache.hits"].
+
+    Since the labeled registry landed, this module is a compatibility
+    veneer over [Obs.Metrics]: each name is a counter family there,
+    instrumented call sites may attach labels to the same names
+    (e.g. [cache.hits{namespace}], [fault.injected{point}]), and the
+    reads here aggregate across label cells, so unlabeled callers keep
+    seeing the familiar totals.  New code should prefer [Obs.Metrics]
+    directly. *)
 
 val incr : string -> unit
 (** Add 1 to a counter (created at 0 on first use). *)
@@ -33,14 +41,13 @@ val timers : unit -> (string * float) list
 (** All timers, sorted by name. *)
 
 val reset : unit -> unit
-(** Zero everything (counters and timers).  Both tables are cleared
-    under the same mutex as every report, so a reset is atomic: no
-    reader ever sees one table cleared and the other not.  It is {b not}
-    an epoch barrier, though — a {!Parallel} worker that reports after
-    the reset lands in the new epoch while its earlier reports are gone,
-    mixing epochs in the totals.  Callers that need clean numbers must
-    quiesce first: reset only while no worker is running, as the CLI and
-    bench harness do (reset before spawning, read after join). *)
+(** Zero everything (counters and timers).  The clear is atomic, but it
+    is {b not} an epoch barrier — a {!Parallel} worker that reports
+    after the reset lands in the new epoch while its earlier reports
+    are gone, mixing epochs in the totals.  The safe pattern is not to
+    reset at all: take an [Obs.Snapshot.take] before the region of
+    interest and read [Obs.Snapshot.delta] afterwards, as the CLI and
+    bench now do.  [reset] remains for test isolation only. *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable two-column dump. *)

@@ -81,5 +81,5 @@ let generate ?pool ?(params = default) cfg =
   let points =
     List.rev (pool_map pool point (List.init params.sweep_points (fun i -> i + 1)))
   in
-  Engine.Telemetry.incr "curve.curves_generated";
+  Obs.Metrics.inc ~labels:[ ("kernel", cfg.Ir.Cfg.name) ] "curve.curves_generated";
   Isa.Config.of_points ~base_cycles:base points

@@ -90,7 +90,11 @@ let branch_and_bound ?(max_explored = 200_000) ~budget candidates =
   in
   search 0 0 0. [];
   Engine.Telemetry.add "select.bnb_nodes" !explored;
-  Engine.Histogram.observe "select.bnb_nodes" (float_of_int !explored);
+  (* distinct name: the unified registry keys kind by family name, so
+     the per-solve distribution cannot share "select.bnb_nodes" with
+     the cumulative counter above *)
+  Engine.Histogram.observe "select.bnb_nodes_per_solve"
+    (float_of_int !explored);
   List.rev !best_sel
 
 let knapsack ~budget candidates =

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Metrics smoke: scrape /metrics and /healthz from `isecustom metrics
+# serve` while it loops a pooled curve/batch workload, assert the
+# exposition is well-formed with labeled families from every
+# instrumented subsystem, then run a faulted curve and assert the
+# crash flight recorder dumped JSONL containing the injected-fault
+# and guard events.  Shared by `make metrics-smoke` and the CI
+# metrics-smoke job.
+set -eu
+
+PORT="${PORT:-9464}"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+dune build bin/isecustom.exe
+
+# ----- live scrape over a pooled workload ------------------------------
+ISECUSTOM_CACHE_DIR="$TMP/cache" \
+  dune exec bin/isecustom.exe -- metrics serve --port "$PORT" --jobs 2 \
+  crc32 fft >/dev/null 2>"$TMP/serve.log" &
+SERVE_PID=$!
+
+ok=0
+i=0
+while [ "$i" -lt 50 ]; do
+  if curl -fsS "http://127.0.0.1:$PORT/healthz" >"$TMP/healthz" 2>/dev/null; then
+    ok=1
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+  echo "metrics-smoke: /healthz never came up" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+grep -qx ok "$TMP/healthz"
+
+# let the pooled workload put samples behind every family
+sleep 2
+curl -fsS "http://127.0.0.1:$PORT/metrics" >"$TMP/metrics"
+
+# typed, labeled families from batch, cache, memo, pool and the guards
+for pat in \
+  '^# TYPE batch_requests_total counter$' \
+  '^# TYPE guard_exhausted_total counter$' \
+  '^# TYPE fault_injected_total counter$' \
+  '^batch_requests_total{op="' \
+  '^cache_hits_total{namespace="' \
+  '^memo_hits_total{namespace="' \
+  '^pool_items_total{mode="local"} [1-9]' \
+  '^pool_items_total{mode="stolen"} ' \
+  '^pool_jobs 2$' \
+  '^curve_generate_s_count [1-9]' \
+  '^curve_generate_s_bucket{le="+Inf"} '
+do
+  if ! grep -q "$pat" "$TMP/metrics"; then
+    echo "metrics-smoke: missing '$pat' in /metrics" >&2
+    head -40 "$TMP/metrics" >&2
+    exit 1
+  fi
+done
+
+# every sample line belongs to a family announced by a TYPE line
+if ! grep -cq '^# TYPE ' "$TMP/metrics"; then
+  echo "metrics-smoke: no TYPE lines in /metrics" >&2
+  exit 1
+fi
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "metrics-smoke: /metrics and /healthz OK ($(grep -c '^# TYPE ' "$TMP/metrics") families)"
+
+# ----- crash flight recorder on a faulted run --------------------------
+ISECUSTOM_FLIGHT_DIR="$TMP/flight" ISECUSTOM_CACHE_DIR="$TMP/cache2" \
+  dune exec bin/isecustom.exe -- curve aes --max-nodes 20 \
+  --fault-spec "seed=3,cache.write=0.5" >/dev/null 2>&1 || true
+
+FLIGHT="$(ls "$TMP"/flight/flight-*.jsonl 2>/dev/null | head -1 || true)"
+if [ -z "$FLIGHT" ] || [ ! -s "$FLIGHT" ]; then
+  echo "metrics-smoke: faulted run left no flight recording" >&2
+  exit 1
+fi
+grep -q '"kind": "fault.injected"' "$FLIGHT"
+grep -q '"kind": "guard.exhausted"' "$FLIGHT"
+echo "metrics-smoke: flight recorder OK ($(wc -l <"$FLIGHT") events)"
