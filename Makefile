@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress metrics-smoke clean
+.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress metrics-smoke daemon-smoke clean
 
 all: build
 
@@ -76,6 +76,13 @@ parallel-stress: build
 # leaves a crash flight recording (scripts/metrics_smoke.sh).
 metrics-smoke: build
 	sh scripts/metrics_smoke.sh
+
+# Daemon smoke: run the golden corpus through a live `isecustom serve`
+# via `batch --connect` (cold and memo-warm), require byte-identity
+# with the sequential reference, scrape the daemon metric families,
+# then SIGTERM and require a graceful drain (scripts/daemon_smoke.sh).
+daemon-smoke: build
+	sh scripts/daemon_smoke.sh
 
 clean:
 	dune clean

@@ -17,7 +17,11 @@
      cache show|clear             inspect / empty the persistent curve cache
      batch <requests.jsonl>       answer a JSONL stream of solver requests with
                                   structural dedup, budget-sweep sharing and
-                                  sharded memo tables
+                                  sharded memo tables; --connect sends the
+                                  stream to a resident daemon instead
+     serve                        resident solver daemon: persistent JSONL
+                                  connections over one warm memo and domain
+                                  pool, admission control, graceful drain
      check [replay F | selftest | faults]
                                   property-based differential testing of the
                                   solver stack against brute-force oracles;
@@ -186,12 +190,27 @@ let jobs_arg =
 
 (* The pool is created here, once per command, and the handle threaded
    down — lower layers take [?pool] and never read a jobs count
-   themselves. *)
+   themselves.  Shutdown is double-covered: the normal path unwinds
+   through Fun.protect, and an [at_exit] hook catches commands that end
+   in [exit] (which does not unwind).  Pool.shutdown is idempotent, so
+   running both is fine. *)
+let live_pools = Atomic.make ([] : Engine.Parallel.Pool.t list)
+
+let pools_at_exit =
+  lazy
+    (at_exit (fun () ->
+         List.iter Engine.Parallel.Pool.shutdown (Atomic.get live_pools)))
+
 let with_jobs_pool jobs f =
   match jobs with
   | None -> f None
   | Some j ->
-    Engine.Parallel.Pool.with_pool ~jobs:j (fun pool -> f (Some pool))
+    Lazy.force pools_at_exit;
+    let pool = Engine.Parallel.Pool.create ~jobs:j () in
+    Atomic.set live_pools (pool :: Atomic.get live_pools);
+    Fun.protect
+      ~finally:(fun () -> Engine.Parallel.Pool.shutdown pool)
+      (fun () -> f (Some pool))
 
 let apply_no_cache no_cache = if no_cache then Engine.Cache.set_enabled false
 
@@ -677,7 +696,18 @@ let batch_cmd =
     in
     go []
   in
-  let run obs no_cache stats_flag jobs shards out_file sequential file =
+  let connect_arg =
+    let doc =
+      "Send the requests to a resident daemon (see $(b,serve)) instead of \
+       solving in-process: $(docv) is the daemon's Unix socket path, or a \
+       bare integer for a loopback TCP port.  Answers are byte-identical \
+       to the in-process paths; parse errors are still reported locally."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "connect" ] ~docv:"PATH|PORT" ~doc)
+  in
+  let run obs no_cache stats_flag jobs shards out_file sequential connect file =
     apply_no_cache no_cache;
     let lines =
       if file = "-" then read_lines stdin
@@ -692,17 +722,45 @@ let batch_cmd =
     in
     let indexed = List.mapi (fun i line -> (i, Batch.Protocol.parse_request line)) lines in
     let oks = List.filter_map (function i, Ok r -> Some (i, r) | _ -> None) indexed in
-    (* created (and shut down) explicitly rather than via with_jobs_pool:
-       this command ends in [exit], which does not unwind Fun.protect *)
-    let pool = Option.map (fun j -> Engine.Parallel.Pool.create ~jobs:j ()) jobs in
     let answered, stats =
-      if sequential then
-        (List.map (fun (i, r) -> (i, Batch.Service.respond r)) oks, None)
-      else begin
-        let memo = Engine.Memo.create ~shards ~namespace:"batch" () in
-        let out, stats = Batch.Service.run ?pool ~memo (List.map snd oks) in
-        (List.map2 (fun (i, _) line -> (i, line)) oks out, Some stats)
-      end
+      match connect with
+      | Some target ->
+        (* one persistent connection, one rpc per request in input
+           order — the daemon owns the pool/memo, so --jobs/--shards
+           do not apply here *)
+        let client =
+          try
+            match int_of_string_opt target with
+            | Some port -> Daemon.Client.connect ~port ()
+            | None -> Daemon.Client.connect ~unix_path:target ()
+          with Unix.Unix_error (e, _, _) ->
+            Format.eprintf "batch --connect %s: %s@." target
+              (Unix.error_message e);
+            exit 3
+        in
+        Fun.protect
+          ~finally:(fun () -> Daemon.Client.close client)
+          (fun () ->
+            ( List.map
+                (fun (i, r) ->
+                  match Daemon.Client.rpc client r with
+                  | Ok line -> (i, line)
+                  | Error msg ->
+                    Format.eprintf "batch --connect: %s@." msg;
+                    exit 3)
+                oks,
+              None ))
+      | None ->
+        (* the at_exit hook inside with_jobs_pool covers the [exit]
+           calls below, which do not unwind Fun.protect *)
+        with_jobs_pool jobs (fun pool ->
+            if sequential then
+              (List.map (fun (i, r) -> (i, Batch.Service.respond r)) oks, None)
+            else begin
+              let memo = Engine.Memo.create ~shards ~namespace:"batch" () in
+              let out, stats = Batch.Service.run ?pool ~memo (List.map snd oks) in
+              (List.map2 (fun (i, _) line -> (i, line)) oks out, Some stats)
+            end)
     in
     let responses =
       List.map
@@ -730,7 +788,6 @@ let batch_cmd =
       Engine.Histogram.pp_table Format.err_formatter ()
     end;
     obs_finish obs;
-    Option.iter Engine.Parallel.Pool.shutdown pool;
     let errors = List.length indexed - List.length oks in
     if errors > 0 then begin
       Format.eprintf "%d request line%s could not be parsed@." errors
@@ -748,7 +805,187 @@ let batch_cmd =
              persistent cache.")
     Term.(
       const run $ obs_term $ no_cache_arg $ stats_arg $ jobs_arg $ shards_arg
-      $ out_arg $ sequential_arg $ file_arg)
+      $ out_arg $ sequential_arg $ connect_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* `serve` — the resident solver daemon: a long-lived Batch.Protocol
+   JSONL server over one shared memo and one shared pool, with the
+   metrics/health surface of `metrics serve` riding alongside.  SIGTERM
+   and SIGINT trigger a graceful drain: stop accepting, flip /healthz
+   to 503, finish in-flight requests, then exit 0. *)
+let serve_cmd =
+  let port_arg =
+    let doc =
+      "Accept solver connections on 127.0.0.1:$(docv); 0 binds an \
+       ephemeral port (printed on startup)."
+    in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let unix_arg =
+    let doc =
+      "Accept solver connections on a Unix-domain socket at $(docv) \
+       (removed on exit)."
+    in
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+  in
+  let metrics_port_arg =
+    let doc = "Serve /metrics, /healthz and /flight on 127.0.0.1:$(docv)." in
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let metrics_unix_arg =
+    let doc = "Serve /metrics, /healthz and /flight on a Unix socket at $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-unix" ] ~docv:"PATH" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shards of the shared in-memory memo table." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission bound: at most $(docv) requests in flight across all \
+       connections; beyond it requests are shed with an \
+       $(b,overloaded) response."
+    in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let class_fuel_arg =
+    let doc =
+      "Per-class fuel budget $(b,OP=N) (repeatable), e.g. \
+       $(b,--class-fuel pareto_exact=200000).  OP is a protocol op; \
+       unlisted ops keep the process default budget."
+    in
+    Arg.(value & opt_all string [] & info [ "class-fuel" ] ~docv:"OP=N" ~doc)
+  in
+  let class_deadline_arg =
+    let doc =
+      "Per-class wall-clock budget $(b,OP=SECONDS) (repeatable), e.g. \
+       $(b,--class-deadline curve=0.5)."
+    in
+    Arg.(value & opt_all string [] & info [ "class-deadline" ] ~docv:"OP=S" ~doc)
+  in
+  let parse_class_flag ~what ~parse_v flag =
+    match String.index_opt flag '=' with
+    | None ->
+      Format.eprintf "--class-%s: expected OP=%s, got %s@." what
+        (String.uppercase_ascii what) flag;
+      exit 1
+    | Some i ->
+      let opn = String.sub flag 0 i in
+      let v = String.sub flag (i + 1) (String.length flag - i - 1) in
+      (match Batch.Protocol.op_of_name opn with
+       | None ->
+         Format.eprintf "--class-%s: unknown op %s@." what opn;
+         exit 1
+       | Some op ->
+         (match parse_v v with
+          | Some v -> (op, v)
+          | None ->
+            Format.eprintf "--class-%s: bad value %s@." what v;
+            exit 1))
+  in
+  let classes_of fuels deadlines =
+    let fuels =
+      List.map
+        (parse_class_flag ~what:"fuel" ~parse_v:(fun v ->
+             match int_of_string_opt v with
+             | Some n when n > 0 -> Some n
+             | _ -> None))
+        fuels
+    in
+    let deadlines =
+      List.map
+        (parse_class_flag ~what:"deadline" ~parse_v:(fun v ->
+             match float_of_string_opt v with
+             | Some s when s > 0. -> Some s
+             | _ -> None))
+        deadlines
+    in
+    let ops =
+      List.sort_uniq compare (List.map fst fuels @ List.map fst deadlines)
+    in
+    List.map
+      (fun op ->
+        let base = Engine.Guard.default_spec () in
+        ( op,
+          { Engine.Guard.fuel =
+              (match List.assoc_opt op fuels with
+               | Some _ as f -> f
+               | None -> base.Engine.Guard.fuel);
+            deadline_s =
+              (match List.assoc_opt op deadlines with
+               | Some _ as d -> d
+               | None -> base.Engine.Guard.deadline_s) } ))
+      ops
+  in
+  let run obs no_cache jobs shards max_inflight port unix_path metrics_port
+      metrics_unix class_fuels class_deadlines =
+    apply_no_cache no_cache;
+    if port = None && unix_path = None then begin
+      Format.eprintf "serve: --port and/or --unix is required@.";
+      exit 1
+    end;
+    if max_inflight < 1 then begin
+      Format.eprintf "serve: --max-inflight must be >= 1@.";
+      exit 1
+    end;
+    let classes = classes_of class_fuels class_deadlines in
+    let memo = Engine.Memo.create ~shards ~namespace:"daemon" () in
+    let stop_requested = Atomic.make false in
+    let on_signal _ = Atomic.set stop_requested true in
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle on_signal));
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle on_signal));
+    with_jobs_pool jobs (fun pool ->
+        let daemon =
+          Daemon.Server.start ?host:None ?port ?unix_path ~max_inflight
+            ~classes ?pool ~memo ()
+        in
+        let metrics_srv =
+          if metrics_port = None && metrics_unix = None then None
+          else
+            Some
+              (Obs.Serve.start ?port:metrics_port ?unix_path:metrics_unix
+                 ~healthz:(fun () -> Daemon.Server.healthy daemon)
+                 ())
+        in
+        (match Daemon.Server.port daemon with
+         | Some p -> Format.eprintf "serve: solver on 127.0.0.1:%d@." p
+         | None -> ());
+        Option.iter
+          (fun p -> Format.eprintf "serve: solver on unix socket %s@." p)
+          unix_path;
+        (match Option.bind metrics_srv Obs.Serve.port with
+         | Some p ->
+           Format.eprintf
+             "serve: /metrics /healthz /flight on http://127.0.0.1:%d@." p
+         | None -> ());
+        Option.iter
+          (fun p -> Format.eprintf "serve: metrics on unix socket %s@." p)
+          metrics_unix;
+        while not (Atomic.get stop_requested) do
+          Unix.sleepf 0.05
+        done;
+        Format.eprintf "serve: draining...@.";
+        Daemon.Server.stop daemon;
+        Option.iter Obs.Serve.stop metrics_srv;
+        Format.eprintf "serve: drained, %d request(s) served@."
+          (Daemon.Server.served daemon));
+    obs_finish obs;
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident solver daemon: a persistent \
+             $(b,Batch.Protocol) JSONL server (Unix socket and/or \
+             loopback TCP) answering requests on a shared domain pool \
+             against one warm memo, with admission control \
+             ($(b,--max-inflight)), per-class budgets and a Prometheus \
+             scrape surface.  SIGTERM/SIGINT drain gracefully.")
+    Term.(
+      const run $ obs_term $ no_cache_arg $ jobs_arg $ shards_arg
+      $ max_inflight_arg $ port_arg $ unix_arg $ metrics_port_arg
+      $ metrics_unix_arg $ class_fuel_arg $ class_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -855,4 +1092,4 @@ let () =
        (Cmd.group info
           [ kernels_cmd; curve_cmd; select_cmd; iterate_cmd; pareto_cmd;
             dot_cmd; experiment_cmd; profile_cmd; metrics_cmd; cache_cmd;
-            batch_cmd; check_cmd ]))
+            batch_cmd; serve_cmd; check_cmd ]))

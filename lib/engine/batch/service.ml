@@ -73,17 +73,25 @@ let front_json front =
 
 let edf_payload sel = R.Obj (status_field Engine.Guard.Exact :: selection_fields sel)
 
-let payload op (ci : Check.Instance.t) =
+(* [spec] is the request's resource budget (the daemon's per-class
+   deadline/fuel admission specs arrive here); without one the solver
+   falls back to the process-wide default, exactly as before. *)
+let payload ?spec op (ci : Check.Instance.t) =
+  let guard () =
+    match spec with
+    | Some s -> Engine.Guard.of_spec s
+    | None -> Engine.Guard.default ()
+  in
   match (op : Protocol.op) with
   | Edf -> edf_payload (Core.Edf_select.run ~budget:ci.budget (Check.Instance.tasks ci))
   | Rms ->
-    let guard = Engine.Guard.default () in
+    let guard = guard () in
     (match Core.Rms_select.run_guarded ~guard ~budget:ci.budget (Check.Instance.tasks ci) with
      | Some sel, st ->
        R.Obj (status_field st :: ("feasible", R.Bool true) :: selection_fields sel)
      | None, st -> R.Obj [ status_field st; ("feasible", R.Bool false) ])
   | Pareto_exact ->
-    let guard = Engine.Guard.default () in
+    let guard = guard () in
     let front, st =
       Pareto.Mo_select.exact_front_guarded ~guard ~base:(base_of ci) (entities_of ci)
     in
@@ -113,6 +121,21 @@ let respond req =
   let p = Protocol.prepare req in
   let s = R.to_string (payload p.Protocol.req.op p.Protocol.canonical) in
   Protocol.render_response p ~payload:(R.parse s)
+
+(* The daemon's one-request path: probe the shared memo, compute and
+   store on a miss.  Both arms render through string -> parse -> render
+   like [respond], so a memo-warm daemon answer is byte-identical to a
+   cold one and to the sequential reference. *)
+let answer ?memo ?spec req =
+  let p = Protocol.prepare req in
+  match Option.bind memo (fun m -> Engine.Memo.find m ~key:p.Protocol.key) with
+  | Some s -> Protocol.render_response p ~payload:(R.parse s)
+  | None ->
+    let s = R.to_string (payload ?spec p.Protocol.req.op p.Protocol.canonical) in
+    (match memo with
+     | Some m -> Engine.Memo.store m ~key:p.Protocol.key s
+     | None -> ());
+    Protocol.render_response p ~payload:(R.parse s)
 
 type group_result = { entries : (string * string) list; g_memo_hits : int; g_swept : int }
 

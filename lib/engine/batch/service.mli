@@ -45,6 +45,16 @@ val respond : Protocol.request -> string
 (** Solve one request cold, no sharing — the sequential reference the
     batch path is differentially tested against. *)
 
+val answer :
+  ?memo:Engine.Memo.t -> ?spec:Engine.Guard.spec -> Protocol.request -> string
+(** Solve one request against a shared memo — the resident daemon's
+    per-request path.  A memo hit replays the stored payload; a miss
+    computes (under [spec] if given, else the process default guard),
+    stores, and renders.  Every arm serialises through
+    {!Check.Repro.to_string} before rendering, so [answer] is
+    byte-identical to {!respond} for any [Exact]-status result,
+    warm or cold. *)
+
 val run :
   ?pool:Engine.Parallel.Pool.t ->
   ?memo:Engine.Memo.t ->

@@ -1,0 +1,52 @@
+(** Blocking client for the resident solver daemon.
+
+    One {!t} is one persistent connection speaking the
+    {!Batch.Protocol} JSONL codec.  The daemon answers in request
+    order per connection, so the client is a simple
+    send-line/read-line pair; {!rpc} adds the backoff loop the
+    daemon's admission control expects: an ["overloaded"] response is
+    retried after an exponentially growing sleep rather than surfaced,
+    up to [retries] attempts.
+
+    The client is not thread-safe — use one connection per client
+    domain/thread (that is also what spreads load across the daemon's
+    admission slots). *)
+
+type t
+
+val connect : ?host:string -> ?port:int -> ?unix_path:string -> unit -> t
+(** Connect over loopback TCP ([port]) or a Unix-domain socket
+    ([unix_path] — preferred when both are given... exactly one is
+    required, [Invalid_argument] otherwise).  Raises [Unix.Unix_error]
+    if the daemon is not there. *)
+
+val close : t -> unit
+(** Close the connection.  Idempotent. *)
+
+val send : t -> Batch.Protocol.request -> unit
+(** Write one request line.  Raises [Failure] if the connection is
+    gone.  Use with {!recv} for manual pipelining (N sends, then N
+    recvs, responses in send order). *)
+
+val send_line : t -> string -> unit
+(** Write a raw line (tests use this for malformed input). *)
+
+val recv : t -> string option
+(** Next response line, [None] on EOF (daemon drained and closed). *)
+
+val overloaded : string -> bool
+(** Whether a response line is the daemon's admission-shed
+    [{"id": ..., "error": "overloaded"}]. *)
+
+val error_of : string -> string option
+(** The [error] field of a response line, if it is an error response
+    (overloaded / internal / parse). *)
+
+val rpc :
+  ?retries:int -> ?backoff_s:float -> t -> Batch.Protocol.request ->
+  (string, string) result
+(** Send one request and wait for its response.  An overloaded
+    response sleeps [backoff_s] (default 2ms, doubling each attempt,
+    capped at 0.2s) and resends, up to [retries] (default 10) times;
+    exhausting the retries returns the last overloaded line as [Ok]
+    (the caller sees the shed).  [Error] means the connection died. *)

@@ -1,0 +1,345 @@
+(* The resident solver daemon.  See server.mli for the architecture;
+   the short version:
+
+     accept domain --- Obs.Netio.accept_loop over the listeners + waker
+       `- per connection: a reader thread and a writer thread
+            reader: select([conn; waker]) -> parse JSONL request
+                    -> admission check -> scheduler -> slot queue
+            writer: pops slots in order, awaits pool futures, writes
+                    response lines
+
+   The scheduler is deliberately small: admission is an atomic
+   counter bounded by [max_inflight] (beyond it the request is shed
+   with an explicit "overloaded" response), and an admitted request
+   becomes a Pool.submit future running Batch.Service.answer against
+   the shared memo under the request class's guard spec.  Response
+   order per connection is request order because the slot queue is
+   FIFO and the writer resolves slots in sequence. *)
+
+module R = Check.Repro
+
+let () =
+  Obs.Metrics.declare
+    ~help:"Daemon requests, by operation and outcome"
+    Obs.Metrics.Counter "daemon.requests";
+  Obs.Metrics.declare ~help:"Admitted requests currently in flight"
+    Obs.Metrics.Gauge "daemon.inflight";
+  Obs.Metrics.declare ~help:"Connections accepted" Obs.Metrics.Counter
+    "daemon.connections";
+  Obs.Metrics.declare ~help:"Connections currently open" Obs.Metrics.Gauge
+    "daemon.conn_active";
+  Obs.Metrics.declare ~help:"Admission to execution start" ~unit_s:true
+    Obs.Metrics.Hist "daemon.queue_wait_s"
+
+(* ---------------------------------------------------------------- *)
+(* A tiny FIFO handing slots from the reader thread to the writer
+   thread of one connection.  [push None] is the end-of-stream
+   sentinel. *)
+
+module Fifo = struct
+  type 'a t = { m : Mutex.t; cv : Condition.t; q : 'a Queue.t }
+
+  let create () = { m = Mutex.create (); cv = Condition.create (); q = Queue.create () }
+
+  let push t v =
+    Mutex.lock t.m;
+    Queue.push v t.q;
+    Condition.signal t.cv;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.cv t.m
+    done;
+    let v = Queue.pop t.q in
+    Mutex.unlock t.m;
+    v
+end
+
+type slot =
+  | Ready of string  (* shed / parse error / inline-computed response *)
+  | Pending of string Engine.Parallel.Pool.future
+
+type t = {
+  socks : Unix.file_descr list;
+  unix_path : string option;
+  bound_port : int option;
+  drain_flag : bool Atomic.t;
+  waker : Obs.Netio.waker;
+  max_inflight : int;
+  inflight : int Atomic.t;
+  served_n : int Atomic.t;
+  classes : (Batch.Protocol.op * Engine.Guard.spec) list;
+  pool : Engine.Parallel.Pool.t option;
+  memo : Engine.Memo.t option;
+  conn_m : Mutex.t;
+  conn_cv : Condition.t;
+  mutable conns : int;
+  mutable accept_dom : unit Domain.t option;
+}
+
+let port t = t.bound_port
+let draining t = Atomic.get t.drain_flag
+let healthy t = not (draining t)
+let served t = Atomic.get t.served_n
+
+let op_label = function
+  | Some op -> Batch.Protocol.op_name op
+  | None -> "unknown"
+
+let count_request ?op outcome =
+  Obs.Metrics.inc
+    ~labels:[ ("op", op_label op); ("outcome", outcome) ]
+    "daemon.requests"
+
+let error_line ?id msg =
+  R.to_string
+    (R.Obj
+       ((match id with Some i -> [ ("id", R.Str i) ] | None -> [])
+       @ [ ("error", R.Str msg) ]))
+
+(* ------------------------- admission ----------------------------- *)
+
+let rec try_admit t =
+  let n = Atomic.get t.inflight in
+  if n >= t.max_inflight then false
+  else if Atomic.compare_and_set t.inflight n (n + 1) then begin
+    Obs.Metrics.set "daemon.inflight" (float_of_int (n + 1));
+    true
+  end
+  else try_admit t
+
+let release t =
+  let n = Atomic.fetch_and_add t.inflight (-1) in
+  Obs.Metrics.set "daemon.inflight" (float_of_int (n - 1))
+
+(* ------------------------- scheduler ----------------------------- *)
+
+(* One admitted request: queue-wait observed when execution starts,
+   the solver run crash-isolated (bounded retry — an injected worker
+   fault degrades to an "internal" error response, never a wedged
+   connection), the in-flight slot released whatever happens. *)
+let execute t (req : Batch.Protocol.request) ~admitted_at () =
+  Obs.Metrics.observe "daemon.queue_wait_s"
+    (Float.max 0. (Unix.gettimeofday () -. admitted_at));
+  Fun.protect
+    ~finally:(fun () -> release t)
+    (fun () ->
+      let spec = List.assoc_opt req.Batch.Protocol.op t.classes in
+      match
+        Engine.Parallel.Pool.isolate
+          (fun () -> Batch.Service.answer ?memo:t.memo ?spec req)
+          ()
+      with
+      | Ok line ->
+        Atomic.incr t.served_n;
+        count_request ~op:req.Batch.Protocol.op "ok";
+        line
+      | Error (err : Engine.Parallel.error) ->
+        count_request ~op:req.Batch.Protocol.op "failed";
+        Obs.Flight.record ~severity:Obs.Flight.Warn "daemon.request_failed"
+          [ ("id", req.Batch.Protocol.id);
+            ("op", Batch.Protocol.op_name req.Batch.Protocol.op);
+            ("error", err.Engine.Parallel.message) ];
+        error_line ~id:req.Batch.Protocol.id
+          ("internal: " ^ err.Engine.Parallel.message))
+
+let schedule t line =
+  match Batch.Protocol.parse_request line with
+  | Error msg ->
+    count_request "parse_error";
+    Ready (error_line ("parse: " ^ msg))
+  | Ok req ->
+    if not (try_admit t) then begin
+      count_request ~op:req.Batch.Protocol.op "overloaded";
+      Obs.Flight.record ~severity:Obs.Flight.Warn "daemon.overloaded"
+        [ ("id", req.Batch.Protocol.id);
+          ("op", Batch.Protocol.op_name req.Batch.Protocol.op);
+          ("inflight", string_of_int (Atomic.get t.inflight)) ];
+      Ready (error_line ~id:req.Batch.Protocol.id "overloaded")
+    end
+    else
+      let task = execute t req ~admitted_at:(Unix.gettimeofday ()) in
+      match t.pool with
+      | Some p -> Pending (Engine.Parallel.Pool.submit p task)
+      | None -> Ready (task ())
+
+(* ------------------------ connection ----------------------------- *)
+
+(* Reader: buffered line reads multiplexed against the drain waker, so
+   a drain interrupts a blocked read immediately.  Lines already read
+   are still scheduled; a partial trailing line is abandoned. *)
+let reader_loop t fd fifo =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let waker_fd = Obs.Netio.waker_fd t.waker in
+  let emit_lines () =
+    (* schedule every complete line currently buffered *)
+    let rec go () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | None -> ()
+      | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        if String.trim line <> "" then Fifo.push fifo (Some (schedule t line));
+        go ()
+    in
+    go ()
+  in
+  let rec loop () =
+    if draining t then ()
+    else
+      match Unix.select [ fd; waker_fd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+        if draining t then ()
+        else if List.memq fd ready then (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            emit_lines ();
+            loop ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            -> loop ()
+          | exception Unix.Unix_error _ -> ())
+        else loop ()
+  in
+  loop ();
+  Fifo.push fifo None
+
+(* Writer: resolve slots in request order and send the lines.  A write
+   failure (client gone, send timeout) keeps draining the queue so
+   every admitted request still completes and releases its slot. *)
+let writer_loop fd fifo =
+  let rec loop ok =
+    match Fifo.pop fifo with
+    | None -> ()
+    | Some slot ->
+      let line =
+        match slot with
+        | Ready s -> s
+        | Pending fut -> Engine.Parallel.Pool.await fut
+      in
+      let ok = ok && Obs.Netio.write_all fd (line ^ "\n") in
+      loop ok
+  in
+  loop true
+
+let handle_conn t fd =
+  let finish () =
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conn_m;
+    t.conns <- t.conns - 1;
+    Obs.Metrics.set "daemon.conn_active" (float_of_int t.conns);
+    Condition.broadcast t.conn_cv;
+    Mutex.unlock t.conn_m
+  in
+  Fun.protect ~finally:finish (fun () ->
+      (* a dead client must not wedge the writer *)
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+       with Unix.Unix_error _ -> ());
+      let fifo = Fifo.create () in
+      let writer = Thread.create (fun () -> writer_loop fd fifo) () in
+      (try reader_loop t fd fifo
+       with e ->
+         Obs.Flight.record ~severity:Obs.Flight.Warn "daemon.conn_failed"
+           [ ("error", Printexc.to_string e) ];
+         Fifo.push fifo None);
+      Thread.join writer)
+
+let on_accept t fd _peer =
+  if draining t then (try Unix.close fd with Unix.Unix_error _ -> ())
+  else begin
+    Mutex.lock t.conn_m;
+    t.conns <- t.conns + 1;
+    Obs.Metrics.set "daemon.conn_active" (float_of_int t.conns);
+    Mutex.unlock t.conn_m;
+    Obs.Metrics.inc "daemon.connections";
+    (* the accepted fd inherited O_NONBLOCK on some systems; the
+       connection threads want plain blocking reads under select *)
+    (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+    ignore (Thread.create (fun () -> handle_conn t fd) ())
+  end
+
+(* --------------------------- lifecycle --------------------------- *)
+
+let start ?(host = "127.0.0.1") ?port ?unix_path ?(max_inflight = 64)
+    ?(classes = []) ?pool ?memo () =
+  if port = None && unix_path = None then
+    invalid_arg "Daemon.Server.start: need ~port and/or ~unix_path";
+  if max_inflight < 1 then
+    invalid_arg "Daemon.Server.start: max_inflight < 1";
+  let tcp = Option.map (Obs.Netio.tcp_listener ~host) port in
+  let uds =
+    try Option.map Obs.Netio.unix_listener unix_path
+    with e ->
+      Option.iter (fun (s, _) -> try Unix.close s with _ -> ()) tcp;
+      raise e
+  in
+  let socks =
+    (match tcp with Some (s, _) -> [ s ] | None -> [])
+    @ (match uds with Some s -> [ s ] | None -> [])
+  in
+  let t =
+    { socks;
+      unix_path = (match uds with Some _ -> unix_path | None -> None);
+      bound_port = Option.map snd tcp;
+      drain_flag = Atomic.make false;
+      waker = Obs.Netio.waker ();
+      max_inflight;
+      inflight = Atomic.make 0;
+      served_n = Atomic.make 0;
+      classes;
+      pool;
+      memo;
+      conn_m = Mutex.create ();
+      conn_cv = Condition.create ();
+      conns = 0;
+      accept_dom = None }
+  in
+  t.accept_dom <-
+    Some
+      (Domain.spawn
+         (Obs.Netio.accept_loop ~listeners:socks ~waker:t.waker
+            ~stop:(fun () -> draining t)
+            ~on_accept:(on_accept t)));
+  Engine.Log.info "daemon: listening%s%s"
+    (match t.bound_port with
+     | Some p -> Printf.sprintf " on 127.0.0.1:%d" p
+     | None -> "")
+    (match t.unix_path with
+     | Some p -> Printf.sprintf " on unix:%s" p
+     | None -> "");
+  t
+
+let stop t =
+  if not (Atomic.exchange t.drain_flag true) then begin
+    (* 1. stop accepting — the waker interrupts the blocked select *)
+    Obs.Netio.wake t.waker;
+    Option.iter Domain.join t.accept_dom;
+    t.accept_dom <- None;
+    (* 2. finish in-flight: the same waker has every connection reader
+       stop consuming; writers flush what was admitted, then each
+       connection closes and signals *)
+    Mutex.lock t.conn_m;
+    while t.conns > 0 do
+      Condition.wait t.conn_cv t.conn_m
+    done;
+    Mutex.unlock t.conn_m;
+    Obs.Netio.close_waker t.waker;
+    List.iter
+      (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
+      t.socks;
+    Option.iter
+      (fun p -> try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      t.unix_path;
+    Option.iter Engine.Memo.observe_occupancy t.memo;
+    Obs.Flight.record "daemon.drained"
+      [ ("served", string_of_int (served t)) ];
+    Engine.Log.info "daemon: drained, %d request(s) served" (served t)
+  end

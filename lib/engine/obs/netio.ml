@@ -1,0 +1,99 @@
+(* Shared listener, waker and select-accept plumbing for Serve and the
+   solver daemon.  See netio.mli for the contract. *)
+
+let tcp_listener ?(host = "127.0.0.1") port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    let addr = Unix.inet_addr_of_string host in
+    Unix.bind sock (Unix.ADDR_INET (addr, port));
+    Unix.listen sock 64;
+    (* select-then-accept must never block if the peer vanished *)
+    Unix.set_nonblock sock;
+    let bound =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    (sock, bound)
+  with e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e
+
+let unix_listener path =
+  (if Sys.file_exists path then
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 64;
+    Unix.set_nonblock sock;
+    sock
+  with e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    raise e
+
+(* The waker is a socketpair used as a sticky level-triggered signal:
+   [wake] writes one byte that is never read back, so the read end is
+   readable from then on and every select including it — even one
+   entered later — returns at once. *)
+type waker = {
+  rd : Unix.file_descr;
+  wr : Unix.file_descr;
+  fired : bool Atomic.t;
+  closed : bool Atomic.t;
+}
+
+let waker () =
+  let rd, wr = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  { rd; wr; fired = Atomic.make false; closed = Atomic.make false }
+
+let wake w =
+  if not (Atomic.exchange w.fired true) then
+    try ignore (Unix.write w.wr (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let woken w = Atomic.get w.fired
+
+let waker_fd w = w.rd
+
+let close_waker w =
+  if not (Atomic.exchange w.closed true) then begin
+    (try Unix.close w.rd with Unix.Unix_error _ -> ());
+    try Unix.close w.wr with Unix.Unix_error _ -> ()
+  end
+
+let accept_loop ~listeners ~waker ~stop ~on_accept () =
+  let fds = waker_fd waker :: listeners in
+  let rec loop () =
+    if not (stop ()) then begin
+      (match Unix.select fds [] [] (-1.0) with
+       | ready, _, _ ->
+         List.iter
+           (fun s ->
+             if not (List.memq s listeners) then ()
+             else
+               match Unix.accept s with
+               | fd, peer ->
+                 (try on_accept fd peer
+                  with _ -> (
+                    try Unix.close fd with Unix.Unix_error _ -> ()))
+               | exception Unix.Unix_error _ -> ())
+           ready
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off >= Bytes.length b then true
+    else
+      match Unix.write fd b off (Bytes.length b - off) with
+      | 0 -> false
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0

@@ -1,0 +1,70 @@
+(** Shared listener and wakeup plumbing for the socket servers.
+
+    Both the metrics scrape endpoint ({!Serve}) and the resident solver
+    daemon ([Daemon.Server]) need the same three things: loopback TCP
+    and Unix-domain listeners in non-blocking accept mode, a {e waker}
+    that makes a blocked [select] return immediately (so [stop] never
+    waits out a poll interval), and a select-accept loop multiplexing
+    the listeners against that waker.  This module is that plumbing,
+    written once. *)
+
+(** {1 Listeners} *)
+
+val tcp_listener : ?host:string -> int -> Unix.file_descr * int
+(** Bind a TCP listener on [host] (default ["127.0.0.1"]) and the given
+    port ([0] binds an ephemeral port); returns the socket and the port
+    actually bound.  The socket is non-blocking so a select-then-accept
+    race (peer gone) yields [EWOULDBLOCK] instead of a hang.  Raises
+    [Unix.Unix_error] on failure, with the socket closed. *)
+
+val unix_listener : string -> Unix.file_descr
+(** Bind a Unix-domain listener at the given path, unlinking a stale
+    socket file first.  Non-blocking, like {!tcp_listener}. *)
+
+(** {1 Waker}
+
+    A one-shot broadcast built on a socketpair: {!wake} writes a byte
+    and {e leaves it} in the buffer, so the read end stays readable
+    forever after — every [select] that includes it, present or
+    future, returns immediately.  That is exactly the semantics a
+    shutdown signal needs (level-triggered, sticky), and why there is
+    no [drain]. *)
+
+type waker
+
+val waker : unit -> waker
+
+val wake : waker -> unit
+(** Make {!waker_fd} permanently readable.  Idempotent; safe from any
+    domain or thread. *)
+
+val woken : waker -> bool
+
+val waker_fd : waker -> Unix.file_descr
+(** The read end, for inclusion in a [select] read set. *)
+
+val close_waker : waker -> unit
+(** Close both ends.  Idempotent.  Only close after every loop
+    selecting on {!waker_fd} has exited. *)
+
+(** {1 Select-accept loop} *)
+
+val accept_loop :
+  listeners:Unix.file_descr list ->
+  waker:waker ->
+  stop:(unit -> bool) ->
+  on_accept:(Unix.file_descr -> Unix.sockaddr -> unit) ->
+  unit ->
+  unit
+(** Block in [select] over the listeners plus the waker's read end and
+    call [on_accept] for each accepted connection, until [stop ()]
+    becomes true — re-checked whenever the waker fires, so a {!wake}
+    ends the loop immediately rather than after a timeout.  [EINTR]
+    and transient accept errors are absorbed; an exception escaping
+    [on_accept] is swallowed after closing the connection (one bad
+    connection must not kill the accept domain). *)
+
+val write_all : Unix.file_descr -> string -> bool
+(** Write the whole string, retrying short writes; [false] if the peer
+    vanished ([EPIPE] and friends) or the descriptor blocked past its
+    send timeout. *)

@@ -1,6 +1,6 @@
-(* Minimal HTTP/1.1 scrape endpoint — the first running brick of the
-   resident solver daemon.  One background domain multiplexes the
-   listening sockets (TCP and/or Unix) with select, answering GET
+(* Minimal HTTP/1.1 scrape endpoint — the metrics half of the resident
+   solver daemon.  One background domain multiplexes the listening
+   sockets (TCP and/or Unix) through Netio.accept_loop, answering GET
    /metrics, /healthz, and /flight; each connection is read once,
    answered with Content-Length + Connection: close, and closed.
    That is all a Prometheus scraper or load-balancer health probe
@@ -11,6 +11,7 @@ type t = {
   unix_path : string option;
   bound_port : int option;
   stop_flag : bool Atomic.t;
+  waker : Netio.waker;
   mutable dom : unit Domain.t option;
 }
 
@@ -84,76 +85,14 @@ let handle_conn ?healthz fd =
         http_response ~status:"405 Method Not Allowed"
           ~content_type:"text/plain" "method not allowed\n"
     in
-    let b = Bytes.of_string response in
-    let rec send off =
-      if off < Bytes.length b then
-        match Unix.write fd b off (Bytes.length b - off) with
-        | 0 -> ()
-        | n -> send (off + n)
-        | exception Unix.Unix_error _ -> ()
-    in
-    send 0
-
-let accept_loop t ?healthz () =
-  let rec loop () =
-    if not (Atomic.get t.stop_flag) then begin
-      (match Unix.select t.socks [] [] 0.2 with
-      | ready, _, _ ->
-        List.iter
-          (fun s ->
-            match Unix.accept s with
-            | fd, _ ->
-              (* A silent client must not wedge the accept domain. *)
-              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
-               with Unix.Unix_error _ -> ());
-              (try handle_conn ?healthz fd with _ -> ());
-              (try Unix.close fd with Unix.Unix_error _ -> ())
-            | exception Unix.Unix_error _ -> ())
-          ready
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
-    end
-  in
-  loop ()
-
-let tcp_listener host port =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  try
-    Unix.setsockopt sock Unix.SO_REUSEADDR true;
-    let addr = Unix.inet_addr_of_string host in
-    Unix.bind sock (Unix.ADDR_INET (addr, port));
-    Unix.listen sock 64;
-    (* select-then-accept must never block if the peer vanished. *)
-    Unix.set_nonblock sock;
-    let bound =
-      match Unix.getsockname sock with
-      | Unix.ADDR_INET (_, p) -> p
-      | Unix.ADDR_UNIX _ -> port
-    in
-    (sock, bound)
-  with e ->
-    (try Unix.close sock with Unix.Unix_error _ -> ());
-    raise e
-
-let unix_listener path =
-  (if Sys.file_exists path then
-     try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  try
-    Unix.bind sock (Unix.ADDR_UNIX path);
-    Unix.listen sock 64;
-    Unix.set_nonblock sock;
-    sock
-  with e ->
-    (try Unix.close sock with Unix.Unix_error _ -> ());
-    raise e
+    ignore (Netio.write_all fd response)
 
 let start ?(host = "127.0.0.1") ?port ?unix_path ?healthz () =
   if port = None && unix_path = None then
     invalid_arg "Obs.Serve.start: need ~port and/or ~unix_path";
-  let tcp = Option.map (tcp_listener host) port in
+  let tcp = Option.map (Netio.tcp_listener ~host) port in
   let uds =
-    try Option.map unix_listener unix_path
+    try Option.map Netio.unix_listener unix_path
     with e ->
       Option.iter (fun (s, _) -> try Unix.close s with _ -> ()) tcp;
       raise e
@@ -167,16 +106,31 @@ let start ?(host = "127.0.0.1") ?port ?unix_path ?healthz () =
       unix_path = (match uds with Some _ -> unix_path | None -> None);
       bound_port = Option.map snd tcp;
       stop_flag = Atomic.make false;
+      waker = Netio.waker ();
       dom = None }
   in
-  t.dom <- Some (Domain.spawn (accept_loop t ?healthz));
+  t.dom <-
+    Some
+      (Domain.spawn
+         (Netio.accept_loop ~listeners:socks ~waker:t.waker
+            ~stop:(fun () -> Atomic.get t.stop_flag)
+            ~on_accept:(fun fd _peer ->
+              (* A silent client must not wedge the accept domain. *)
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+               with Unix.Unix_error _ -> ());
+              (try handle_conn ?healthz fd with _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())));
   t
 
 let port t = t.bound_port
 
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then begin
+    (* the waker makes the blocked select return now, not after a poll
+       interval — the accept domain re-checks the stop flag and exits *)
+    Netio.wake t.waker;
     Option.iter Domain.join t.dom;
+    Netio.close_waker t.waker;
     List.iter
       (fun s -> try Unix.close s with Unix.Unix_error _ -> ())
       t.socks;

@@ -32,5 +32,6 @@ val port : t -> int option
 (** The bound TCP port, if a TCP listener was requested. *)
 
 val stop : t -> unit
-(** Stop accepting (within the 200ms poll interval), join the domain,
-    close the sockets, and unlink the Unix socket path.  Idempotent. *)
+(** Stop accepting immediately (a {!Netio} waker interrupts the blocked
+    select — no poll interval to wait out), join the domain, close the
+    sockets, and unlink the Unix socket path.  Idempotent. *)

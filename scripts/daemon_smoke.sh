@@ -1,0 +1,103 @@
+#!/bin/sh
+# Daemon smoke: start `isecustom serve` on a Unix socket with a domain
+# pool and a metrics surface, send the golden corpus through
+# `batch --connect` twice (cold then memo-warm), assert both passes are
+# byte-identical to the sequential reference, assert the daemon metric
+# families are scrapeable and /healthz says ok, then SIGTERM the daemon
+# and require a graceful drain (drained message, clean exit, socket
+# unlinked).  Shared by `make daemon-smoke` and the CI daemon-smoke job.
+set -eu
+
+PORT="${PORT:-9465}"
+TMP="$(mktemp -d)"
+SOCK="$TMP/solver.sock"
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+dune build bin/isecustom.exe
+BIN="_build/default/bin/isecustom.exe"
+
+# ----- sequential reference --------------------------------------------
+ISECUSTOM_CACHE_DIR="$TMP/cache-seq" \
+  "$BIN" batch --no-cache --sequential \
+  --out "$TMP/seq.jsonl" test/golden/cases.jsonl
+
+# ----- resident daemon --------------------------------------------------
+ISECUSTOM_CACHE_DIR="$TMP/cache" \
+  "$BIN" serve --unix "$SOCK" --jobs 2 \
+  --metrics-port "$PORT" 2>"$TMP/serve.log" &
+SERVE_PID=$!
+
+ok=0
+i=0
+while [ "$i" -lt 50 ]; do
+  if [ -S "$SOCK" ] && curl -fsS "http://127.0.0.1:$PORT/healthz" \
+      >"$TMP/healthz" 2>/dev/null; then
+    ok=1
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+  echo "daemon-smoke: daemon never came up" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+grep -qx ok "$TMP/healthz"
+
+# ----- byte-identity: cold pass, then memo-warm pass -------------------
+ISECUSTOM_CACHE_DIR="$TMP/cache-client" \
+  "$BIN" batch --connect "$SOCK" \
+  --out "$TMP/daemon-cold.jsonl" test/golden/cases.jsonl
+ISECUSTOM_CACHE_DIR="$TMP/cache-client" \
+  "$BIN" batch --connect "$SOCK" \
+  --out "$TMP/daemon-warm.jsonl" test/golden/cases.jsonl
+
+diff "$TMP/seq.jsonl" "$TMP/daemon-cold.jsonl"
+diff "$TMP/seq.jsonl" "$TMP/daemon-warm.jsonl"
+diff test/golden/expected.jsonl "$TMP/daemon-cold.jsonl"
+echo "daemon-smoke: warm daemon == cold daemon == sequential == golden"
+
+# ----- daemon metric families ------------------------------------------
+curl -fsS "http://127.0.0.1:$PORT/metrics" >"$TMP/metrics"
+for pat in \
+  '^# TYPE daemon_requests_total counter$' \
+  '^daemon_requests_total{op="[a-z_]*",outcome="ok"} [1-9]' \
+  '^daemon_connections_total [1-9]' \
+  '^daemon_inflight 0$' \
+  '^daemon_conn_active 0$' \
+  '^daemon_queue_wait_s_seconds_count [1-9]'
+do
+  if ! grep -q "$pat" "$TMP/metrics"; then
+    echo "daemon-smoke: missing '$pat' in /metrics" >&2
+    grep '^daemon' "$TMP/metrics" >&2 || true
+    exit 1
+  fi
+done
+echo "daemon-smoke: daemon metric families OK"
+
+# ----- graceful drain on SIGTERM ---------------------------------------
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+SERVE_PID=""
+if [ "$status" != 0 ]; then
+  echo "daemon-smoke: serve exited $status after SIGTERM" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+if ! grep -q 'drained' "$TMP/serve.log"; then
+  echo "daemon-smoke: no drain message in serve log" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+if [ -e "$SOCK" ]; then
+  echo "daemon-smoke: socket not unlinked after drain" >&2
+  exit 1
+fi
+echo "daemon-smoke: graceful drain OK ($(grep 'drained' "$TMP/serve.log"))"
