@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress metrics-smoke daemon-smoke clean
+.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress metrics-smoke daemon-smoke chaos clean
 
 all: build
 
@@ -83,6 +83,16 @@ metrics-smoke: build
 # then SIGTERM and require a graceful drain (scripts/daemon_smoke.sh).
 daemon-smoke: build
 	sh scripts/daemon_smoke.sh
+
+# Chaos harness: a live `isecustom serve` under seeded fault injection
+# vs hostile clients (garbage, oversized, slow-loris, aborts), a
+# SIGKILL client storm and a SIGKILLed sibling cache writer — surviving
+# responses must stay byte-identical to the golden corpus, with no
+# wedged threads, no fd leaks and a clean drain afterwards
+# (scripts/chaos_smoke.sh; seed via CHAOS_SEED, bounded ~30s).
+CHAOS_SEED ?= 42
+chaos: build
+	CHAOS_SEED=$(CHAOS_SEED) sh scripts/chaos_smoke.sh
 
 clean:
 	dune clean

@@ -850,6 +850,28 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
   in
+  let max_request_bytes_arg =
+    let doc =
+      "Cap one request line at $(docv) bytes; a longer line is answered \
+       with an $(b,oversized) error and the connection closed."
+    in
+    Arg.(value & opt int (1024 * 1024)
+         & info [ "max-request-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Close a connection silent for $(docv) seconds; 0 disables the \
+       idle reaper."
+    in
+    Arg.(value & opt float 600. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let line_timeout_arg =
+    let doc =
+      "Close a connection that takes longer than $(docv) seconds to \
+       finish one request line (slow-loris guard); 0 disables it."
+    in
+    Arg.(value & opt float 60. & info [ "line-timeout" ] ~docv:"SECONDS" ~doc)
+  in
   let class_fuel_arg =
     let doc =
       "Per-class fuel budget $(b,OP=N) (repeatable), e.g. \
@@ -919,8 +941,9 @@ let serve_cmd =
                | None -> base.Engine.Guard.deadline_s) } ))
       ops
   in
-  let run obs no_cache jobs shards max_inflight port unix_path metrics_port
-      metrics_unix class_fuels class_deadlines =
+  let run obs no_cache jobs shards max_inflight max_request_bytes idle_timeout
+      line_timeout port unix_path metrics_port metrics_unix class_fuels
+      class_deadlines =
     apply_no_cache no_cache;
     if port = None && unix_path = None then begin
       Format.eprintf "serve: --port and/or --unix is required@.";
@@ -930,6 +953,15 @@ let serve_cmd =
       Format.eprintf "serve: --max-inflight must be >= 1@.";
       exit 1
     end;
+    if max_request_bytes < 1 then begin
+      Format.eprintf "serve: --max-request-bytes must be >= 1@.";
+      exit 1
+    end;
+    if idle_timeout < 0. || line_timeout < 0. then begin
+      Format.eprintf "serve: timeouts must be >= 0 (0 disables)@.";
+      exit 1
+    end;
+    let opt_timeout s = if s = 0. then None else Some s in
     let classes = classes_of class_fuels class_deadlines in
     let memo = Engine.Memo.create ~shards ~namespace:"daemon" () in
     let stop_requested = Atomic.make false in
@@ -939,7 +971,9 @@ let serve_cmd =
     with_jobs_pool jobs (fun pool ->
         let daemon =
           Daemon.Server.start ?host:None ?port ?unix_path ~max_inflight
-            ~classes ?pool ~memo ()
+            ~classes ?pool ~memo ~max_request_bytes
+            ~idle_timeout_s:(opt_timeout idle_timeout)
+            ~line_timeout_s:(opt_timeout line_timeout) ()
         in
         let metrics_srv =
           if metrics_port = None && metrics_unix = None then None
@@ -984,7 +1018,8 @@ let serve_cmd =
              scrape surface.  SIGTERM/SIGINT drain gracefully.")
     Term.(
       const run $ obs_term $ no_cache_arg $ jobs_arg $ shards_arg
-      $ max_inflight_arg $ port_arg $ unix_arg $ metrics_port_arg
+      $ max_inflight_arg $ max_request_bytes_arg $ idle_timeout_arg
+      $ line_timeout_arg $ port_arg $ unix_arg $ metrics_port_arg
       $ metrics_unix_arg $ class_fuel_arg $ class_deadline_arg)
 
 (* ------------------------------------------------------------------ *)

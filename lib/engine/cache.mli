@@ -20,7 +20,22 @@
     Values are stored with [Marshal]; callers are responsible for using
     a distinct [namespace] per value type (the namespace and full key
     are verified on load, so a key collision across namespaces cannot
-    alias). *)
+    alias).
+
+    {b Cross-process coherence.}  The cache directory may be shared by
+    a resident daemon and concurrent [batch]/CLI writer processes.
+    Three mechanisms keep that safe: entry publication ({!store}'s
+    rename) and {!clear}'s sweep serialise on an exclusive advisory
+    lock ([<dir>/.lock], [Unix.lockf] — within one process the lock is
+    additionally mutex-serialised, since fcntl locks only arbitrate
+    between processes); {!clear} bumps a monotone {!generation} stamp
+    ([<dir>/.generation]) under that lock so processes holding warm
+    in-memory copies can notice the invalidation ({!Memo.revalidate});
+    and {!sweep_stale_tmp} reaps [*.tmp.<pid>] orphans left by writers
+    killed mid-write (never touching a file whose writer pid is still
+    alive).  All of it is best-effort like the rest of the cache: a
+    directory where the lock file cannot be created degrades to the
+    old lockless behaviour. *)
 
 val format_version : int
 (** Bumped whenever the stored value layout changes; older entries then
@@ -54,4 +69,23 @@ val entries : unit -> entry list
     (reported with namespace ["<unreadable>"]). *)
 
 val clear : unit -> int
-(** Delete all cache files; returns how many were removed. *)
+(** Delete all cache files under the advisory lock, bump the
+    {!generation} stamp, and reap dead writers' temp files; returns how
+    many entries were removed. *)
+
+val generation : unit -> int
+(** The directory's invalidation stamp: [0] until the first {!clear},
+    then monotone across all processes sharing the directory.  Lockless
+    read (the stamp file is replaced atomically). *)
+
+val bump_generation : unit -> int
+(** Advance the stamp under the advisory lock and return the new value
+    — for operators invalidating warm daemons without deleting entries
+    (also exercised by tests). *)
+
+val sweep_stale_tmp : ?older_than_s:float -> unit -> int
+(** Remove [*.tmp.<pid>] files whose writer process is dead and whose
+    mtime is at least [older_than_s] (default 60) seconds old; returns
+    how many were reaped.  Counts ["cache.tmp_swept"].  The daemon's
+    watchdog calls this periodically so a SIGKILLed sibling writer
+    cannot litter the shared directory forever. *)

@@ -74,15 +74,32 @@ let error_of line =
 
 let overloaded line = error_of line = Some "overloaded"
 
-let rpc ?(retries = 10) ?(backoff_s = 0.002) t req =
+let rpc ?(retries = 10) ?(backoff_s = 0.002) ?deadline_s t req =
+  (* [deadline_s] is a wall-clock budget over the whole retry loop, not
+     per attempt: a client under a scheduler deadline must not let the
+     overload backoff alone eat it. *)
+  let give_up_at =
+    Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s
+  in
+  let expired () =
+    match give_up_at with
+    | None -> false
+    | Some at -> Unix.gettimeofday () >= at
+  in
   let rec go attempt backoff =
     send t req;
     match recv t with
     | None -> Error "connection closed by daemon"
     | Some line ->
-      if overloaded line && attempt < retries then begin
-        Unix.sleepf backoff;
-        go (attempt + 1) (Float.min 0.2 (backoff *. 2.))
+      if overloaded line && attempt < retries && not (expired ()) then begin
+        let sleep =
+          match give_up_at with
+          | None -> backoff
+          | Some at -> Float.min backoff (Float.max 0. (at -. Unix.gettimeofday ()))
+        in
+        Unix.sleepf sleep;
+        if expired () then Ok line
+        else go (attempt + 1) (Float.min 0.2 (backoff *. 2.))
       end
       else Ok line
   in

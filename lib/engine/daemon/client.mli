@@ -43,10 +43,16 @@ val error_of : string -> string option
     (overloaded / internal / parse). *)
 
 val rpc :
-  ?retries:int -> ?backoff_s:float -> t -> Batch.Protocol.request ->
+  ?retries:int -> ?backoff_s:float -> ?deadline_s:float ->
+  t -> Batch.Protocol.request ->
   (string, string) result
 (** Send one request and wait for its response.  An overloaded
     response sleeps [backoff_s] (default 2ms, doubling each attempt,
     capped at 0.2s) and resends, up to [retries] (default 10) times;
     exhausting the retries returns the last overloaded line as [Ok]
-    (the caller sees the shed).  [Error] means the connection died. *)
+    (the caller sees the shed).  [deadline_s] bounds the {e whole}
+    retry loop in wall-clock seconds: once the budget is spent no
+    further resend happens and the last overloaded line is returned as
+    [Ok] — the backoff sleeps are clipped so the loop never overshoots
+    the budget by more than one round trip.  [Error] means the
+    connection died. *)

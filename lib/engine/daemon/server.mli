@@ -30,20 +30,56 @@
     stop consuming new lines, in-flight requests finish and their
     responses are written, then connections close and [stop] returns.
 
+    {b Hostile conditions.}  The read side is bounded in space and
+    time: a request line larger than [max_request_bytes] (complete or
+    still accumulating — the reader never buffers past the cap) is
+    answered [{"error": "oversized: ..."}] and the connection reaped; a
+    connection silent past [idle_timeout_s], or trickling one request
+    line slower than [line_timeout_s] (slow-loris), is reaped with an
+    explicit error line the same way.  Reaping one connection frees
+    both its systhreads and disturbs nothing else.  A {e watchdog}
+    thread supervises the rest: it flags in-flight requests stuck past
+    their class deadline plus a grace ([wedge_grace_s]), force-closes
+    lingering sockets when a drain is stuck past [drain_grace_s],
+    surfaces hard accept-loop errors (EMFILE — the accept loop itself
+    retries under exponential backoff, see {!Obs.Netio.accept_loop}),
+    revalidates the shared memo against the cache generation stamp
+    (so a sibling process's [cache clear] empties the warm tables,
+    {!Engine.Memo.revalidate}) and periodically reaps temp-file litter
+    from writers SIGKILLed mid-cache-write
+    ({!Engine.Cache.sweep_stale_tmp}).  [start] also ignores SIGPIPE
+    process-wide: a client vanishing mid-write must cost one [false]
+    from [write_all], not the daemon.
+
     Wire responses that are not solver results:
     - [{"id": I, "error": "overloaded"}] — shed by admission control;
     - [{"id": I, "error": "internal: ..."}] — the request crashed even
       after the pool's bounded retry (fault injection lands here; the
       connection itself survives);
-    - [{"error": "parse: ..."}] — the line was not a valid request.
+    - [{"error": "parse: ..."}] — the line was not a valid request;
+    - [{"error": "oversized: ..."} | {"error": "idle: ..."} |
+      {"error": "timeout: ..."}] — hygiene reap, connection closes
+      after the line.
 
     Metrics: ["daemon.requests"]{op,outcome} with outcome one of
-    [ok]/[overloaded]/[failed]/[parse_error], ["daemon.inflight"] and
-    ["daemon.conn_active"] gauges, ["daemon.connections"] counter,
-    ["daemon.queue_wait_s"] histogram (admission to execution start).
-    Flight events: ["daemon.overloaded"] (Warn) per admission reject,
+    [ok]/[overloaded]/[failed]/[parse_error]/[oversized],
+    ["daemon.inflight"] and ["daemon.conn_active"] gauges,
+    ["daemon.connections"] counter, ["daemon.queue_wait_s"] histogram
+    (admission to execution start), ["daemon.conn_reaped"]{reason} for
+    hygiene reaps, and the watchdog family:
+    ["daemon.watchdog_wedged"]{op}, ["daemon.watchdog_stuck_drain"],
+    ["daemon.watchdog_accept_errors"]{error},
+    ["daemon.watchdog_oldest_s"] gauge.  Flight events:
+    ["daemon.overloaded"] (Warn) per admission reject,
     ["daemon.conn_failed"] (Warn) on a connection torn down by an
-    exception, ["daemon.drained"] on shutdown. *)
+    exception, ["daemon.conn_reaped"] (Warn) per hygiene reap,
+    ["daemon.watchdog_wedged"] / ["daemon.watchdog_stuck_drain"] /
+    ["daemon.accept_error"] (Warn) from the watchdog and accept loop,
+    ["daemon.drained"] on shutdown.
+
+    The ["daemon.stall"] {!Engine.Fault} point delays request
+    execution 0.3s so tests can stage a wedged request without a
+    pathological instance. *)
 
 type t
 
@@ -55,17 +91,32 @@ val start :
   ?classes:(Batch.Protocol.op * Engine.Guard.spec) list ->
   ?pool:Engine.Parallel.Pool.t ->
   ?memo:Engine.Memo.t ->
+  ?max_request_bytes:int ->
+  ?idle_timeout_s:float option ->
+  ?line_timeout_s:float option ->
+  ?wedge_grace_s:float ->
+  ?drain_grace_s:float ->
+  ?watchdog_interval_s:float ->
   unit ->
   t
-(** Bind and spawn the accept domain.  At least one of [port] /
-    [unix_path] is required ([Invalid_argument] otherwise); [port] may
-    be [0] for an ephemeral port ({!port} reads it back).
-    [max_inflight] defaults to 64 (must be >= 1).  [classes] maps
-    request ops to per-class guard budgets; unlisted ops run under the
-    process default spec.  Without [pool] requests compute on the
-    connection threads (still correct, no extra parallelism); without
-    [memo] nothing is shared between requests.  Raises
-    [Unix.Unix_error] if binding fails. *)
+(** Bind and spawn the accept domain plus the watchdog thread.  At
+    least one of [port] / [unix_path] is required ([Invalid_argument]
+    otherwise); [port] may be [0] for an ephemeral port ({!port} reads
+    it back).  [max_inflight] defaults to 64 (must be >= 1).
+    [classes] maps request ops to per-class guard budgets; unlisted
+    ops run under the process default spec.  Without [pool] requests
+    compute on the connection threads (still correct, no extra
+    parallelism); without [memo] nothing is shared between requests.
+
+    Hygiene knobs: [max_request_bytes] caps one request line (default
+    1 MiB); [idle_timeout_s] (default 10 min) and [line_timeout_s]
+    (default 60s) reap silent and slow-loris connections — pass [None]
+    to disable either.  [wedge_grace_s] (default 30s) is the slack
+    past a request's class deadline before the watchdog flags it;
+    [drain_grace_s] (default 30s) how long a drain may linger before
+    its remaining sockets are kicked; [watchdog_interval_s] (default
+    0.25s) the supervision tick.  Raises [Unix.Unix_error] if binding
+    fails and [Invalid_argument] on non-positive knobs. *)
 
 val port : t -> int option
 (** The bound TCP port, if a TCP listener was requested. *)

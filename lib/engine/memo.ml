@@ -1,6 +1,14 @@
 type shard = { lock : Mutex.t; table : (string, string) Hashtbl.t }
 
-type t = { shards : shard array; namespace : string; spill : bool }
+type t = {
+  shards : shard array;
+  namespace : string;
+  spill : bool;
+  (* cache generation the resident entries were loaded under; a bump by
+     a sibling process (cache clear) invalidates them — see
+     [revalidate] *)
+  cache_gen : int Atomic.t;
+}
 
 let () =
   Obs.Metrics.declare ~help:"Memo hits (in-memory or spilled) by namespace"
@@ -12,7 +20,10 @@ let () =
   Obs.Metrics.declare ~help:"Memo stores by namespace"
     Obs.Metrics.Counter "memo.stores";
   Obs.Metrics.declare ~help:"Entries resident per memo shard"
-    Obs.Metrics.Gauge "memo.shard_items"
+    Obs.Metrics.Gauge "memo.shard_items";
+  Obs.Metrics.declare
+    ~help:"Memo tables dropped after a cache generation bump"
+    Obs.Metrics.Counter "memo.invalidated"
 
 let create ?(shards = 16) ?(spill = true) ~namespace () =
   if shards < 1 then invalid_arg "Memo.create: shards must be >= 1";
@@ -20,7 +31,8 @@ let create ?(shards = 16) ?(spill = true) ~namespace () =
       Array.init shards (fun _ ->
           { lock = Mutex.create (); table = Hashtbl.create 64 });
     namespace;
-    spill }
+    spill;
+    cache_gen = Atomic.make (if spill then Cache.generation () else 0) }
 
 (* FNV-1a; the shard index takes the top bits so keys sharing a long
    common prefix (the "op-" discriminator) still spread. *)
@@ -95,3 +107,29 @@ let observe_occupancy t =
 
 let clear t =
   Array.iter (fun s -> with_lock s (fun () -> Hashtbl.reset s.table)) t.shards
+
+(* Cross-process coherence: resident entries were loaded (or computed)
+   under some cache generation; if a sibling process bumped it (a
+   `cache clear` invalidating the shared directory), drop them so the
+   next requests recompute instead of serving from a table the
+   operator meant to empty.  Values are deterministic per key, so this
+   only matters when an invalidation *signals intent* — which is
+   exactly what the generation stamp encodes. *)
+let revalidate t =
+  if not t.spill then false
+  else begin
+    let g = Cache.generation () in
+    let seen = Atomic.get t.cache_gen in
+    if g = seen || not (Atomic.compare_and_set t.cache_gen seen g) then false
+    else begin
+      clear t;
+      Obs.Metrics.inc ~labels:[ ("namespace", t.namespace) ] "memo.invalidated";
+      Obs.Flight.record ~severity:Obs.Flight.Warn "memo.invalidated"
+        [ ("namespace", t.namespace);
+          ("generation", string_of_int g) ];
+      Log.warn
+        "memo: cache generation moved to %d — dropped resident %s tables"
+        g t.namespace;
+      true
+    end
+  end

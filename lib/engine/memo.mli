@@ -42,3 +42,12 @@ val observe_occupancy : t -> unit
 
 val clear : t -> unit
 (** Drop the in-memory shards (spilled entries survive in the cache). *)
+
+val revalidate : t -> bool
+(** Cross-process coherence probe: compare {!Cache.generation} against
+    the generation the resident entries were loaded under; if a sibling
+    process bumped it (a [cache clear] on the shared directory), drop
+    the in-memory shards, count ["memo.invalidated"], record a Warn
+    flight event and return [true].  Cheap when nothing changed (one
+    small file read) — the daemon's watchdog calls this every tick.
+    Always [false] for a no-spill memo (nothing shared to go stale). *)

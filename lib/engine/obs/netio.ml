@@ -63,8 +63,19 @@ let close_waker w =
     try Unix.close w.wr with Unix.Unix_error _ -> ()
   end
 
-let accept_loop ~listeners ~waker ~stop ~on_accept () =
+let accept_loop ?(on_error = fun (_ : Unix.error) -> ()) ~listeners ~waker
+    ~stop ~on_accept () =
   let fds = waker_fd waker :: listeners in
+  (* Hard errors (EMFILE when the fd table is full, EBADF after a
+     listener died) must neither kill the loop nor let it spin at 100%
+     CPU retrying: report through [on_error], sleep an exponentially
+     growing backoff, try again.  A successful accept resets it. *)
+  let backoff = ref 0.01 in
+  let errored e =
+    on_error e;
+    Unix.sleepf !backoff;
+    backoff := Float.min 1.0 (!backoff *. 2.)
+  in
   let rec loop () =
     if not (stop ()) then begin
       (match Unix.select fds [] [] (-1.0) with
@@ -75,12 +86,21 @@ let accept_loop ~listeners ~waker ~stop ~on_accept () =
              else
                match Unix.accept s with
                | fd, peer ->
+                 backoff := 0.01;
                  (try on_accept fd peer
                   with _ -> (
                     try Unix.close fd with Unix.Unix_error _ -> ()))
-               | exception Unix.Unix_error _ -> ())
+               | exception
+                   Unix.Unix_error
+                     ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                       | Unix.ECONNABORTED),
+                       _, _ ) -> ()
+               | exception Unix.Unix_error (e, _, _) -> errored e)
            ready
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error (e, _, _) ->
+         (* a bad listener fd would otherwise make select a hot loop *)
+         errored e);
       loop ()
     end
   in

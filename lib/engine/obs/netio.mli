@@ -50,6 +50,7 @@ val close_waker : waker -> unit
 (** {1 Select-accept loop} *)
 
 val accept_loop :
+  ?on_error:(Unix.error -> unit) ->
   listeners:Unix.file_descr list ->
   waker:waker ->
   stop:(unit -> bool) ->
@@ -60,9 +61,15 @@ val accept_loop :
     call [on_accept] for each accepted connection, until [stop ()]
     becomes true — re-checked whenever the waker fires, so a {!wake}
     ends the loop immediately rather than after a timeout.  [EINTR]
-    and transient accept errors are absorbed; an exception escaping
-    [on_accept] is swallowed after closing the connection (one bad
-    connection must not kill the accept domain). *)
+    and transient accept errors ([EAGAIN]/[ECONNABORTED]) are absorbed;
+    an exception escaping [on_accept] is swallowed after closing the
+    connection (one bad connection must not kill the accept domain).
+    Hard errors — [EMFILE] when the process is out of descriptors, a
+    listener going bad under select — are reported through [on_error]
+    (default: ignored) and retried under an exponential backoff sleep
+    (10ms doubling to 1s, reset by the next successful accept), so an
+    fd exhaustion storm degrades to slow accepts instead of a dead or
+    spinning accept domain. *)
 
 val write_all : Unix.file_descr -> string -> bool
 (** Write the whole string, retrying short writes; [false] if the peer

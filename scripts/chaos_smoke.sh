@@ -1,0 +1,193 @@
+#!/bin/sh
+# Chaos smoke: run `isecustom serve` under a randomized (seeded,
+# correctness-preserving) ISECUSTOM_FAULT_SPEC and throw hostile
+# conditions at it all at once:
+#   - socket abuse via test/chaos_client.exe: garbage lines, oversized
+#     lines, slow-loris trickles, mid-request aborts;
+#   - a kill/reconnect storm: `batch --connect` clients SIGKILLed
+#     mid-run and replaced;
+#   - a sibling `batch` writer sharing the daemon's cache directory,
+#     SIGKILLed mid-cache-write;
+#   - a pre-staged stale cache tmp file from a dead writer pid.
+# Then assert the survival contract: the staged orphan is swept, the
+# daemon's fd table returns to its baseline (no leaks), /healthz still
+# says ok, a clean client pass is byte-identical to the golden corpus,
+# and SIGTERM still drains gracefully.  Seeded via CHAOS_SEED (default
+# 42); bounded runtime (~30s).  Shared by `make chaos` and the CI
+# chaos-smoke job.
+set -eu
+
+CHAOS_SEED="${CHAOS_SEED:-42}"
+PORT="${PORT:-9467}"
+TMP="$(mktemp -d)"
+SOCK="$TMP/solver.sock"
+CACHE="$TMP/cache"
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then kill -9 "$SERVE_PID" 2>/dev/null || true; fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+dune build bin/isecustom.exe test/chaos_client.exe
+BIN="_build/default/bin/isecustom.exe"
+CHAOS="_build/default/test/chaos_client.exe"
+
+# ----- sequential reference --------------------------------------------
+ISECUSTOM_CACHE_DIR="$TMP/cache-seq" \
+  "$BIN" batch --no-cache --sequential \
+  --out "$TMP/seq.jsonl" test/golden/cases.jsonl
+
+# ----- stale tmp orphan from a dead writer -----------------------------
+# Staged before the daemon starts: the watchdog's first sweep must reap
+# it (the writer pid is dead, the mtime is ancient).
+mkdir -p "$CACHE"
+sh -c 'exit 0' &
+DEAD_PID=$!
+wait "$DEAD_PID" || true
+ORPHAN="$CACHE/orphan.tmp.$DEAD_PID"
+: > "$ORPHAN"
+touch -d '2 hours ago' "$ORPHAN" 2>/dev/null || touch -t 202001010000 "$ORPHAN"
+
+# ----- daemon under fault injection ------------------------------------
+# daemon.stall only delays request execution (it never changes a
+# result), so the byte-identity bar below still holds while the
+# watchdog sees artificially slow requests.
+ISECUSTOM_CACHE_DIR="$CACHE" \
+  ISECUSTOM_FAULT_SPEC="seed=$CHAOS_SEED,daemon.stall=0.05" \
+  "$BIN" serve --unix "$SOCK" --jobs 2 \
+  --max-request-bytes 65536 --idle-timeout 5 --line-timeout 1 \
+  --metrics-port "$PORT" 2>"$TMP/serve.log" &
+SERVE_PID=$!
+
+ok=0
+i=0
+while [ "$i" -lt 50 ]; do
+  if [ -S "$SOCK" ] && curl -fsS "http://127.0.0.1:$PORT/healthz" \
+      >"$TMP/healthz" 2>/dev/null; then
+    ok=1
+    break
+  fi
+  i=$((i + 1))
+  sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+  echo "chaos-smoke: daemon never came up" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+grep -qx ok "$TMP/healthz"
+
+FD_BASELINE=$(ls "/proc/$SERVE_PID/fd" 2>/dev/null | wc -l || echo 0)
+
+# ----- hostile clients + kill storm, all at once -----------------------
+"$CHAOS" "$SOCK" garbage "$CHAOS_SEED" 10 &
+C_GARBAGE=$!
+"$CHAOS" "$SOCK" oversized "$((CHAOS_SEED + 1))" 5 &
+C_OVERSIZED=$!
+"$CHAOS" "$SOCK" slowloris "$((CHAOS_SEED + 2))" 2 &
+C_SLOWLORIS=$!
+"$CHAOS" "$SOCK" abort "$((CHAOS_SEED + 3))" 10 &
+C_ABORT=$!
+
+# kill/reconnect storm: clients SIGKILLed mid-corpus, deterministically
+# jittered from the seed
+DELAYS=$(awk -v seed="$CHAOS_SEED" \
+  'BEGIN { srand(seed); for (i = 0; i < 6; i++) printf "%.2f ", 0.02 + rand() * 0.25 }')
+for delay in $DELAYS; do
+  ISECUSTOM_CACHE_DIR="$TMP/cache-client" \
+    "$BIN" batch --connect "$SOCK" --out /dev/null \
+    test/golden/cases.jsonl 2>/dev/null &
+  VICTIM=$!
+  sleep "$delay"
+  kill -9 "$VICTIM" 2>/dev/null || true
+  wait "$VICTIM" 2>/dev/null || true
+done
+
+# sibling writer sharing the daemon's cache directory, SIGKILLed
+# mid-cache-write
+ISECUSTOM_CACHE_DIR="$CACHE" \
+  "$BIN" batch --jobs 2 --out /dev/null test/golden/cases.jsonl 2>/dev/null &
+WRITER=$!
+sleep 0.1
+kill -9 "$WRITER" 2>/dev/null || true
+wait "$WRITER" 2>/dev/null || true
+
+for pid_name in "$C_GARBAGE:garbage" "$C_OVERSIZED:oversized" \
+  "$C_SLOWLORIS:slowloris" "$C_ABORT:abort"; do
+  pid=${pid_name%%:*}
+  name=${pid_name#*:}
+  if ! wait "$pid"; then
+    echo "chaos-smoke: $name client detected a wedge" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+  fi
+done
+echo "chaos-smoke: hostile clients all reaped, none wedged"
+
+# ----- orphan swept by the watchdog ------------------------------------
+i=0
+while [ -e "$ORPHAN" ] && [ "$i" -lt 100 ]; do
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ -e "$ORPHAN" ]; then
+  echo "chaos-smoke: stale tmp orphan never swept" >&2
+  exit 1
+fi
+echo "chaos-smoke: dead writer's tmp orphan swept"
+
+# ----- no fd leak -------------------------------------------------------
+i=0
+while [ "$i" -lt 150 ]; do
+  FD_NOW=$(ls "/proc/$SERVE_PID/fd" 2>/dev/null | wc -l || echo 0)
+  if [ "$FD_NOW" -le $((FD_BASELINE + 4)) ]; then break; fi
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ "$FD_NOW" -gt $((FD_BASELINE + 4)) ]; then
+  echo "chaos-smoke: fd leak: baseline $FD_BASELINE, now $FD_NOW" >&2
+  exit 1
+fi
+echo "chaos-smoke: fd table back to baseline ($FD_BASELINE -> $FD_NOW)"
+
+# ----- still healthy, still byte-identical -----------------------------
+curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -qx ok
+ISECUSTOM_CACHE_DIR="$TMP/cache-client-final" \
+  "$BIN" batch --connect "$SOCK" \
+  --out "$TMP/after-chaos.jsonl" test/golden/cases.jsonl
+diff "$TMP/seq.jsonl" "$TMP/after-chaos.jsonl"
+diff test/golden/expected.jsonl "$TMP/after-chaos.jsonl"
+echo "chaos-smoke: surviving responses byte-identical to the golden corpus"
+
+# ----- reap accounting surfaced ----------------------------------------
+curl -fsS "http://127.0.0.1:$PORT/metrics" >"$TMP/metrics"
+for pat in \
+  '^daemon_requests_total{op="unknown",outcome="oversized"} [1-9]' \
+  '^daemon_conn_reaped_total{reason="oversized"} [1-9]' \
+  '^daemon_conn_reaped_total{reason="line_timeout"} [1-9]'
+do
+  if ! grep -q "$pat" "$TMP/metrics"; then
+    echo "chaos-smoke: missing '$pat' in /metrics" >&2
+    grep '^daemon' "$TMP/metrics" >&2 || true
+    exit 1
+  fi
+done
+echo "chaos-smoke: reap metrics accounted"
+
+# ----- graceful drain still works --------------------------------------
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+SERVE_PID=""
+if [ "$status" != 0 ]; then
+  echo "chaos-smoke: serve exited $status after SIGTERM" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+grep -q 'drained' "$TMP/serve.log"
+if [ -e "$SOCK" ]; then
+  echo "chaos-smoke: socket not unlinked after drain" >&2
+  exit 1
+fi
+echo "chaos-smoke: graceful drain after chaos OK"

@@ -1,0 +1,164 @@
+(* Socket-level hostile client for scripts/chaos_smoke.sh: throws
+   garbage, oversized lines, slow-loris trickles and mid-request
+   aborts at a live daemon and asserts only the *liveness* contract —
+   every round ends in an explicit error line, an EOF/reset, or a
+   clean close, never a hang.  Correctness of surviving traffic is the
+   harness's job (byte-identity against the golden corpus); this
+   binary's job is to not be a polite client.
+
+     chaos_client SOCKET MODE SEED ROUNDS
+     MODE: garbage | oversized | slowloris | abort
+
+   Exit 0 when every round terminated, 1 on a wedge (no reaction
+   within the per-round timeout), 2 on usage errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: chaos_client SOCKET (garbage|oversized|slowloris|abort) SEED \
+     ROUNDS";
+  exit 2
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* best-effort write: the daemon reaping us mid-send (EPIPE, reset) is
+   an expected outcome, not a failure *)
+let send fd s =
+  try
+    ignore (Unix.write_substring fd s 0 (String.length s) : int);
+    true
+  with Unix.Unix_error _ -> false
+
+(* one response line, EOF, or a bounded timeout — never an infinite
+   block, because a wedge is exactly what we are here to detect *)
+let recv ?(timeout = 10.) fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if Unix.gettimeofday () >= deadline then `Timeout
+    else
+      match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> go ()
+      | _ -> (
+        match Unix.read fd b 0 (Bytes.length b) with
+        | 0 ->
+          if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf b 0 n;
+          let s = Buffer.contents buf in
+          (match String.index_opt s '\n' with
+           | Some i -> `Line (String.sub s 0 i)
+           | None -> go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> `Eof)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let wedged mode round what =
+  Printf.eprintf "chaos_client: %s round %d wedged (%s)\n%!" mode round what;
+  exit 1
+
+let garbage_line () =
+  let n = 1 + Random.int 120 in
+  String.init n (fun _ ->
+      (* printable junk, newline-free, brace-heavy to tease the parser *)
+      match Random.int 6 with
+      | 0 -> '{'
+      | 1 -> '}'
+      | 2 -> '"'
+      | _ -> Char.chr (32 + Random.int 95))
+
+let run_garbage sock rounds =
+  for round = 1 to rounds do
+    let fd = connect sock in
+    let lines = 1 + Random.int 5 in
+    for _ = 1 to lines do
+      ignore (send fd (garbage_line () ^ "\n") : bool)
+    done;
+    (* every junk line must be answered (parse error) or the
+       connection explicitly torn down — silence is a wedge *)
+    (match recv fd with
+     | `Line l when contains l "error" -> ()
+     | `Line l -> wedged "garbage" round ("unexpected reply: " ^ l)
+     | `Eof -> ()
+     | `Timeout -> wedged "garbage" round "no reaction to junk");
+    close fd
+  done
+
+let run_oversized sock rounds =
+  for round = 1 to rounds do
+    let fd = connect sock in
+    (* far past any sane --max-request-bytes the harness configures *)
+    let blob = String.make (256 * 1024) 'x' in
+    ignore (send fd blob : bool);
+    ignore (send fd "\n" : bool);
+    (match recv fd with
+     | `Line l when contains l "oversized" -> ()
+     | `Line _ | `Eof ->
+       (* a reset can clobber the error line in flight; EOF still
+          proves the reap happened *)
+       ()
+     | `Timeout -> wedged "oversized" round "no reap of an oversized line");
+    close fd
+  done
+
+let run_slowloris sock rounds =
+  for round = 1 to rounds do
+    let fd = connect sock in
+    let reaped = ref false in
+    (* trickle a request line one byte at a time, never finishing it;
+       the daemon's line deadline must cut us off *)
+    (try
+       for _ = 1 to 200 do
+         if not !reaped then begin
+           if not (send fd "x") then reaped := true
+           else
+             match Unix.select [ fd ] [] [] 0.1 with
+             | [], _, _ -> ()
+             | _ -> reaped := true
+         end
+       done
+     with Unix.Unix_error _ -> reaped := true);
+    if not !reaped then wedged "slowloris" round "trickle never reaped";
+    (match recv ~timeout:5. fd with
+     | `Line _ | `Eof -> ()
+     | `Timeout -> wedged "slowloris" round "reap signalled but no close");
+    close fd
+  done
+
+let run_abort sock rounds =
+  for round = 1 to rounds do
+    ignore round;
+    let fd = connect sock in
+    (* half a plausible request, then vanish without reading *)
+    ignore (send fd "{\"id\": \"chaos\", \"op\": \"cur" : bool);
+    if Random.bool () then ignore (send fd "ve\", " : bool);
+    close fd
+  done
+
+let () =
+  match Sys.argv with
+  | [| _; sock; mode; seed; rounds |] -> (
+    let seed = try int_of_string seed with Failure _ -> usage () in
+    let rounds = try int_of_string rounds with Failure _ -> usage () in
+    Random.init seed;
+    match mode with
+    | "garbage" -> run_garbage sock rounds
+    | "oversized" -> run_oversized sock rounds
+    | "slowloris" -> run_slowloris sock rounds
+    | "abort" -> run_abort sock rounds
+    | _ -> usage ())
+  | _ -> usage ()

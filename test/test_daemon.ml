@@ -52,12 +52,14 @@ let fresh_memo () =
 
 (* Start a daemon on a fresh unix socket + a jobs:2 pool, run [f], and
    tear everything down whatever happens. *)
-let with_daemon ?max_inflight f =
+let with_daemon ?max_inflight ?max_request_bytes ?idle_timeout_s
+    ?line_timeout_s ?wedge_grace_s ?watchdog_interval_s f =
   let path = fresh_sock () in
   Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
   let d =
-    Daemon.Server.start ~unix_path:path ?max_inflight ~pool
-      ~memo:(fresh_memo ()) ()
+    Daemon.Server.start ~unix_path:path ?max_inflight ?max_request_bytes
+      ?idle_timeout_s ?line_timeout_s ?wedge_grace_s ?watchdog_interval_s
+      ~pool ~memo:(fresh_memo ()) ()
   in
   Fun.protect ~finally:(fun () -> Daemon.Server.stop d) (fun () -> f path d)
 
@@ -232,6 +234,255 @@ let test_fault_injection_never_wedges () =
       Printf.printf "fault test: %d/%d requests degraded to internal errors\n"
         !internals (List.length reqs))
 
+(* ----------------------- hostile conditions ----------------------- *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let counter_delta ?labels name f =
+  let before = Option.value ~default:0. (Obs.Metrics.value ?labels name) in
+  f ();
+  Option.value ~default:0. (Obs.Metrics.value ?labels name) -. before
+
+(* A line past --max-request-bytes is answered with an explicit
+   oversized error and the connection closed — and the daemon itself
+   survives to serve the next client. *)
+let test_oversized_line_reaped () =
+  with_daemon ~max_request_bytes:256 @@ fun path d ->
+  let delta =
+    counter_delta ~labels:[ ("reason", "oversized") ] "daemon.conn_reaped"
+      (fun () ->
+        let c = Daemon.Client.connect ~unix_path:path () in
+        Fun.protect
+          ~finally:(fun () -> Daemon.Client.close c)
+          (fun () ->
+            Daemon.Client.send_line c (String.make 1024 'x');
+            (match Daemon.Client.recv c with
+             | None -> Alcotest.fail "closed without an error line"
+             | Some line ->
+               check bool "explicit oversized error" true
+                 (match Daemon.Client.error_of line with
+                  | Some err -> starts_with "oversized:" err
+                  | None -> false));
+            check bool "connection closed after the error" true
+              (Daemon.Client.recv c = None)))
+  in
+  check bool "reap counted under its reason" true (delta >= 1.);
+  check bool "daemon still healthy" true (Daemon.Server.healthy d);
+  (* a fresh connection still gets parse errors answered — alive *)
+  let c2 = Daemon.Client.connect ~unix_path:path () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.Client.close c2)
+    (fun () ->
+      Daemon.Client.send_line c2 "not json";
+      match Daemon.Client.recv c2 with
+      | Some line ->
+        check bool "daemon still answering" true
+          (match Daemon.Client.error_of line with
+           | Some err -> starts_with "parse:" err
+           | None -> false)
+      | None -> Alcotest.fail "daemon dead after reaping one client")
+
+(* Garbage is answered with a parse error on a connection that keeps
+   working: the next (valid) request on the same connection must still
+   come back byte-identical. *)
+let test_garbage_keeps_connection () =
+  with_daemon @@ fun path _d ->
+  let req = List.hd (Lazy.force requests) in
+  let want = List.hd (Lazy.force expected) in
+  let c = Daemon.Client.connect ~unix_path:path () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.Client.close c)
+    (fun () ->
+      Daemon.Client.send_line c "{\"op\": \"no such thing\"";
+      (match Daemon.Client.recv c with
+       | Some line ->
+         check bool "garbage gets a parse error" true
+           (match Daemon.Client.error_of line with
+            | Some err -> starts_with "parse:" err
+            | None -> false)
+       | None -> Alcotest.fail "connection dropped on garbage");
+      match Daemon.Client.rpc c req with
+      | Ok got -> check string "same connection still serves" want got
+      | Error msg -> Alcotest.failf "connection dead after garbage: %s" msg)
+
+(* A connection that goes silent past --idle-timeout is reaped with an
+   explicit error line, promptly. *)
+let test_idle_connection_reaped () =
+  with_daemon ~idle_timeout_s:(Some 0.2) @@ fun path _d ->
+  let c = Daemon.Client.connect ~unix_path:path () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.Client.close c)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      (match Daemon.Client.recv c with
+       | Some line ->
+         check bool "idle reap is explicit" true
+           (match Daemon.Client.error_of line with
+            | Some err -> starts_with "idle:" err
+            | None -> false)
+       | None -> Alcotest.fail "closed without an error line");
+      check bool "connection closed" true (Daemon.Client.recv c = None);
+      check bool "reaped promptly, not at the old infinite select" true
+        (Unix.gettimeofday () -. t0 < 5.))
+
+(* Slow-loris: trickling a request line without ever finishing it must
+   trip the line-completion deadline even though the connection is
+   never idle long enough for the idle reaper. *)
+let test_slow_loris_reaped () =
+  with_daemon ~idle_timeout_s:(Some 30.) ~line_timeout_s:(Some 0.3)
+  @@ fun path _d ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let t0 = Unix.gettimeofday () in
+      (* keep the connection active but never complete the line *)
+      let loris =
+        Thread.create
+          (fun () ->
+            try
+              for _ = 1 to 20 do
+                ignore (Unix.write_substring fd "x" 0 1 : int);
+                Unix.sleepf 0.05
+              done
+            with Unix.Unix_error _ -> ())
+          ()
+      in
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      Thread.join loris;
+      let first_line =
+        let s = Buffer.contents buf in
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      check bool "explicit timeout error before EOF" true
+        (match Daemon.Client.error_of first_line with
+         | Some err -> starts_with "timeout:" err
+         | None -> false);
+      check bool "reaped near the line deadline" true
+        (Unix.gettimeofday () -. t0 < 5.))
+
+(* A request stuck well past its class allowance must be flagged by the
+   watchdog (metric + flight event) while still completing normally —
+   the ["daemon.stall"] fault point stages the wedge
+   deterministically. *)
+let test_watchdog_flags_wedged_request () =
+  (match Engine.Fault.parse "seed=7,daemon.stall=1x1" with
+   | Ok spec -> Engine.Fault.configure spec
+   | Error msg -> Alcotest.failf "fault spec: %s" msg);
+  Fun.protect ~finally:Engine.Fault.disable @@ fun () ->
+  with_daemon ~wedge_grace_s:0.05 ~watchdog_interval_s:0.02
+  @@ fun path _d ->
+  let req = List.hd (Lazy.force requests) in
+  let want = List.hd (Lazy.force expected) in
+  let seq0 =
+    match List.rev (Obs.Flight.events ()) with
+    | [] -> -1
+    | e :: _ -> e.Obs.Flight.seq
+  in
+  let delta =
+    counter_delta
+      ~labels:[ ("op", Batch.Protocol.op_name req.Batch.Protocol.op) ]
+      "daemon.watchdog_wedged"
+      (fun () ->
+        let c = Daemon.Client.connect ~unix_path:path () in
+        Fun.protect
+          ~finally:(fun () -> Daemon.Client.close c)
+          (fun () ->
+            match Daemon.Client.rpc c req with
+            | Ok got ->
+              check string "wedged request still completes correctly" want got
+            | Error msg -> Alcotest.failf "stalled request died: %s" msg))
+  in
+  check bool "wedge counted once, not per tick" true (delta = 1.);
+  let flagged =
+    List.exists
+      (fun (e : Obs.Flight.event) ->
+        e.Obs.Flight.seq > seq0
+        && e.Obs.Flight.kind = "daemon.watchdog_wedged"
+        && List.assoc_opt "id" e.Obs.Flight.fields
+           = Some req.Batch.Protocol.id)
+      (Obs.Flight.events ())
+  in
+  check bool "flight event names the wedged request" true flagged
+
+(* rpc ~deadline_s: against a server that sheds every request, the
+   retry loop must give up at the wall-clock budget — not at the retry
+   cap — and surface the last overloaded line. *)
+let test_rpc_deadline_bounds_retries () =
+  let path = fresh_sock () in
+  let lsock = Obs.Netio.unix_listener path in
+  let stop = Atomic.make false in
+  let server () =
+    while not (Atomic.get stop) do
+      match Unix.select [ lsock ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept lsock with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          let b = Bytes.create 4096 in
+          let rec serve () =
+            match Unix.read fd b 0 (Bytes.length b) with
+            | 0 -> ()
+            | n ->
+              String.iter
+                (fun ch ->
+                  if ch = '\n' then
+                    ignore
+                      (Obs.Netio.write_all fd
+                         "{\"id\": \"x\", \"error\": \"overloaded\"}\n"
+                        : bool))
+                (Bytes.sub_string b 0 n);
+              serve ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          serve ();
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+    done;
+    try Unix.close lsock with Unix.Unix_error _ -> ()
+  in
+  let th = Thread.create server () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join th;
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      let c = Daemon.Client.connect ~unix_path:path () in
+      Fun.protect
+        ~finally:(fun () -> Daemon.Client.close c)
+        (fun () ->
+          let req = List.hd (Lazy.force requests) in
+          let t0 = Unix.gettimeofday () in
+          match
+            Daemon.Client.rpc ~retries:1_000_000 ~backoff_s:0.01
+              ~deadline_s:0.25 c req
+          with
+          | Error msg -> Alcotest.failf "rpc died: %s" msg
+          | Ok line ->
+            let dt = Unix.gettimeofday () -. t0 in
+            check bool "last overloaded line surfaced as Ok" true
+              (Daemon.Client.overloaded line);
+            check bool "kept retrying until the budget" true (dt >= 0.2);
+            check bool "gave up at the budget, not the retry cap" true
+              (dt < 2.)))
+
 let () =
   Alcotest.run "daemon"
     [ ( "daemon",
@@ -242,4 +493,17 @@ let () =
           Alcotest.test_case "drain flushes and refuses" `Quick
             test_drain_flushes_and_refuses;
           Alcotest.test_case "fault injection never wedges" `Quick
-            test_fault_injection_never_wedges ] ) ]
+            test_fault_injection_never_wedges ] );
+      ( "hostile",
+        [ Alcotest.test_case "oversized line reaped" `Quick
+            test_oversized_line_reaped;
+          Alcotest.test_case "garbage keeps the connection" `Quick
+            test_garbage_keeps_connection;
+          Alcotest.test_case "idle connection reaped" `Quick
+            test_idle_connection_reaped;
+          Alcotest.test_case "slow-loris reaped" `Quick
+            test_slow_loris_reaped;
+          Alcotest.test_case "watchdog flags a wedged request" `Quick
+            test_watchdog_flags_wedged_request;
+          Alcotest.test_case "rpc deadline bounds retries" `Quick
+            test_rpc_deadline_bounds_retries ] ) ]

@@ -1,0 +1,119 @@
+(* Obs.Netio plumbing under failure: write_all must push every byte
+   through short writes and report (not raise) a vanished peer or a bad
+   fd, the waker must stay level-triggered forever once fired, and the
+   accept loop must survive hard errors by reporting and backing off
+   instead of dying or spinning. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* write_all hits EPIPE when the peer is gone; without this the signal
+   would kill the test binary before the return value matters. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* 8 MiB through a socketpair dwarfs the kernel buffer, so the sender
+   sees many short writes — the offset-advancing loop either works or
+   the received bytes diverge. *)
+let test_write_all_partial_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payload = String.init (8 * 1024 * 1024) (fun i -> Char.chr (i land 0xff)) in
+  let got = Buffer.create (String.length payload) in
+  let reader =
+    Thread.create
+      (fun () ->
+        let chunk = Bytes.create 65536 in
+        let rec go () =
+          match Unix.read b chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes got chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        go ())
+      ()
+  in
+  check bool "write_all completes" true (Obs.Netio.write_all a payload);
+  Unix.close a;
+  Thread.join reader;
+  Unix.close b;
+  check bool "every byte arrived in order" true (Buffer.contents got = payload)
+
+let test_write_all_peer_gone () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  (* large enough that even a buffered first write cannot hide the
+     dead peer for the whole payload *)
+  check bool "vanished peer reads as false, not an exception" false
+    (Obs.Netio.write_all a (String.make (1024 * 1024) 'x'));
+  Unix.close a
+
+let test_write_all_bad_fd () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  Unix.close a;
+  check bool "closed fd reads as false" false (Obs.Netio.write_all a "hello")
+
+let test_waker_sticky () =
+  let w = Obs.Netio.waker () in
+  let ready () =
+    match Unix.select [ Obs.Netio.waker_fd w ] [] [] 0.2 with
+    | r, _, _ -> r <> []
+  in
+  check bool "not woken initially" false (Obs.Netio.woken w);
+  check bool "silent before wake" false (ready ());
+  Obs.Netio.wake w;
+  Obs.Netio.wake w (* idempotent *);
+  check bool "woken after wake" true (Obs.Netio.woken w);
+  check bool "select returns at once" true (ready ());
+  check bool "still ready — the byte is never consumed" true (ready ());
+  check bool "and again: the signal is sticky, not edge-triggered" true
+    (ready ());
+  Obs.Netio.close_waker w;
+  Obs.Netio.close_waker w (* idempotent *)
+
+(* A dead listener fd makes every select raise EBADF.  The loop must
+   keep running, reporting each error through [on_error] with a growing
+   backoff — and still honour [stop]. *)
+let test_accept_loop_survives_bad_listener () =
+  let w = Obs.Netio.waker () in
+  (* created after the waker so nothing re-opens this fd number *)
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close sock;
+  let errors = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Obs.Netio.accept_loop
+          ~on_error:(fun (_ : Unix.error) -> Atomic.incr errors)
+          ~listeners:[ sock ] ~waker:w
+          ~stop:(fun () -> Atomic.get stop)
+          ~on_accept:(fun fd _ ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          ())
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Atomic.get errors < 2 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  check bool "loop still alive after repeated hard errors" true
+    (Atomic.get errors >= 2);
+  Atomic.set stop true;
+  Thread.join th;
+  Obs.Netio.close_waker w
+
+let () =
+  Alcotest.run "netio"
+    [ ( "netio",
+        [ Alcotest.test_case "write_all pushes through short writes" `Quick
+            test_write_all_partial_writes;
+          Alcotest.test_case "write_all reports a vanished peer" `Quick
+            test_write_all_peer_gone;
+          Alcotest.test_case "write_all reports a bad fd" `Quick
+            test_write_all_bad_fd;
+          Alcotest.test_case "waker is sticky" `Quick test_waker_sticky;
+          Alcotest.test_case "accept loop survives a bad listener" `Quick
+            test_accept_loop_survives_bad_listener ] ) ]

@@ -263,6 +263,83 @@ let test_fault_selftest_passes () =
   | Ok _ -> ()
   | Error msg -> Alcotest.failf "fault selftest: %s" msg
 
+(* ---------------------------- coherence ---------------------------- *)
+
+let test_clear_bumps_generation () =
+  with_scratch_cache @@ fun () ->
+  (* the scratch directory may carry a stamp from an earlier test in
+     this binary — only monotonicity is contractual *)
+  let g0 = Engine.Cache.generation () in
+  Engine.Cache.store ~namespace:"resilience" ~key:"g" [ 1 ];
+  ignore (Engine.Cache.clear () : int);
+  let g1 = Engine.Cache.generation () in
+  check bool "clear bumps the stamp" true (g1 > g0);
+  let g2 = Engine.Cache.bump_generation () in
+  check int "bump returns the stored stamp" g2 (Engine.Cache.generation ());
+  check bool "stamp is monotone" true (g2 > g1)
+
+let test_memo_revalidate_drops_on_bump () =
+  with_scratch_cache @@ fun () ->
+  let m = Engine.Memo.create ~shards:2 ~spill:true ~namespace:"coherence" () in
+  Engine.Memo.store m ~key:"k" "v";
+  check int "entry resident" 1 (Engine.Memo.size m);
+  check bool "no bump, no drop" false (Engine.Memo.revalidate m);
+  check int "still resident" 1 (Engine.Memo.size m);
+  (* a sibling process invalidating the shared directory = a bump *)
+  ignore (Engine.Cache.bump_generation () : int);
+  check bool "bump detected" true (Engine.Memo.revalidate m);
+  check int "resident tables dropped" 0 (Engine.Memo.size m);
+  (* the spilled copy survives a bare bump; a lookup re-promotes it *)
+  check bool "spilled entry re-promoted" true
+    (Engine.Memo.find m ~key:"k" = Some "v");
+  check bool "second probe is quiet" false (Engine.Memo.revalidate m);
+  let no_spill =
+    Engine.Memo.create ~shards:2 ~spill:false ~namespace:"coherence" ()
+  in
+  ignore (Engine.Cache.bump_generation () : int);
+  check bool "no-spill memo has nothing shared to go stale" false
+    (Engine.Memo.revalidate no_spill)
+
+let test_sweep_reaps_dead_writers_only () =
+  with_scratch_cache @@ fun () ->
+  Engine.Cache.store ~namespace:"resilience" ~key:"s" [ 1 ];
+  let dir = Engine.Cache.dir () in
+  (* a writer pid with no live process behind it (forking one and
+     reaping it would be cleaner, but fork is off-limits once domains
+     exist) *)
+  let rec find_dead p =
+    if p <= 1 then Alcotest.fail "no free pid found below 99999"
+    else
+      match Unix.kill p 0 with
+      | () -> find_dead (p - 1)
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> p
+      | exception Unix.Unix_error _ -> find_dead (p - 1)
+  in
+  let dead_pid = find_dead 99999 in
+  let touch f =
+    let oc = open_out f in
+    output_string oc "torn";
+    close_out oc
+  in
+  let dead = Filename.concat dir (Printf.sprintf "orphan.tmp.%d" dead_pid) in
+  let live =
+    Filename.concat dir (Printf.sprintf "scratch.tmp.%d" (Unix.getpid ()))
+  in
+  touch dead;
+  touch live;
+  let old = Unix.gettimeofday () -. 3600. in
+  Unix.utimes dead old old;
+  Unix.utimes live old old;
+  check int "one orphan swept" 1 (Engine.Cache.sweep_stale_tmp ());
+  check bool "dead writer's tmp gone" false (Sys.file_exists dead);
+  check bool "live writer's tmp preserved" true (Sys.file_exists live);
+  (* a fresh orphan survives the default age gate until it is old *)
+  touch dead;
+  check int "young orphan not swept" 0 (Engine.Cache.sweep_stale_tmp ());
+  check int "age zero sweeps it" 1
+    (Engine.Cache.sweep_stale_tmp ~older_than_s:0. ());
+  Sys.remove live
+
 (* ------------------------------ sweep ------------------------------ *)
 
 let test_sweep_isolates_failing_experiment () =
@@ -317,6 +394,13 @@ let () =
             test_map_result_isolates_permanent_failure;
           Alcotest.test_case "fault selftest passes" `Quick
             test_fault_selftest_passes ] );
+      ( "coherence",
+        [ Alcotest.test_case "clear bumps the generation stamp" `Quick
+            test_clear_bumps_generation;
+          Alcotest.test_case "memo revalidates on a sibling bump" `Quick
+            test_memo_revalidate_drops_on_bump;
+          Alcotest.test_case "sweep reaps dead writers only" `Quick
+            test_sweep_reaps_dead_writers_only ] );
       ( "sweep",
         [ Alcotest.test_case "one failing experiment does not abort" `Quick
             test_sweep_isolates_failing_experiment ] ) ]
