@@ -2,7 +2,7 @@
 # ocamlformat is available — the sealed container does not ship it),
 # and the full test suite.
 
-.PHONY: all build test fmt check bench batch-bench golden-update fuzz faults parallel-stress metrics-smoke daemon-smoke chaos clean
+.PHONY: all build test fmt check bench batch-bench generator-bench golden-update fuzz isegen-fuzz faults parallel-stress metrics-smoke daemon-smoke chaos clean
 
 all: build
 
@@ -34,6 +34,13 @@ bench:
 batch-bench: build
 	dune exec bench/main.exe -- batch
 
+# Candidate-generator benchmark: on blocks that saturate the exhaustive
+# enumerator's small budget, isegen must bank >= 1.2x the selected gain
+# within 2x of the deep enumeration's wall-clock (generator_scaling in
+# BENCH_engine.json).
+generator-bench: build
+	dune exec bench/main.exe -- generator
+
 # Regenerate the golden corpus (test/golden/) after a *deliberate*
 # output change: re-emit the request set, then record the sequential
 # solver's responses as the new expected outputs.  Review the diff —
@@ -50,6 +57,13 @@ SEED ?= 42
 BUDGET ?= 1000
 fuzz:
 	dune exec bin/isecustom.exe -- check --seed $(SEED) --budget $(BUDGET)
+
+# The ISEGEN differential suite alone: iterative-generator legality,
+# the 90%-of-oracle floor on small DFGs, anytime guard cuts, the
+# auto-dispatch switch and the hardware cost backends.
+isegen-fuzz:
+	dune exec bin/isecustom.exe -- check --suite isegen --seed $(SEED) \
+	  --budget $(BUDGET)
 
 # Fault-injection run (lib/engine/fault): first fire every injection
 # point deterministically and assert each is survived, then run the

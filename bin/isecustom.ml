@@ -42,6 +42,48 @@ let fmt = Format.std_formatter
 
 (* Flags shared by the curve-generating commands. *)
 
+let generator_conv =
+  let parse s =
+    match Ise.Isegen.choice_of_string s with
+    | Some c -> Ok c
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown generator %S (expected %s)" s
+                     (String.concat ", "
+                        (List.map Ise.Isegen.choice_to_string
+                           Ise.Isegen.all_choices))))
+  in
+  let print fmt c = Format.pp_print_string fmt (Ise.Isegen.choice_to_string c) in
+  Arg.conv (parse, print)
+
+let generator_arg =
+  let doc =
+    "Candidate generator: $(b,exhaustive) (capped breadth-first      enumeration, exact within its budget), $(b,isegen) (ISEGEN-style      iterative improvement, scales past the enumeration caps) or      $(b,auto) (exhaustive, switching to isegen when a cap saturates)."
+  in
+  Arg.(value
+       & opt generator_conv Ise.Isegen.Exhaustive
+       & info [ "generator" ] ~docv:"GEN" ~doc)
+
+let hw_model_conv =
+  let parse s =
+    match Isa.Hw_model.backend_of_name s with
+    | Some b -> Ok b
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown hardware model %S (expected %s)" s
+                     (String.concat ", "
+                        (List.map (fun (b : Isa.Hw_model.backend) -> b.name)
+                           Isa.Hw_model.backends))))
+  in
+  let print fmt (b : Isa.Hw_model.backend) = Format.pp_print_string fmt b.name in
+  Arg.conv (parse, print)
+
+let hw_model_arg =
+  let doc =
+    "Hardware cost backend for candidate evaluation: $(b,uniform) (the      thesis's synthesis tables) or $(b,riscv) (DSP multiplier,      per-register-port area, 100 MHz clock)."
+  in
+  Arg.(value
+       & opt hw_model_conv Isa.Hw_model.uniform
+       & info [ "hw-model" ] ~docv:"MODEL" ~doc)
+
 let no_cache_arg =
   let doc = "Bypass the persistent curve cache (neither read nor write it)." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
@@ -255,8 +297,10 @@ let resolve name =
     exit 1
 
 let curve_cmd =
-  let run obs no_cache stats name =
+  let run obs no_cache stats generator hw name =
     apply_no_cache no_cache;
+    Experiments.Curves.set_generator generator;
+    Experiments.Curves.set_hw hw;
     ignore (resolve name);
     let curve = Experiments.Curves.curve name in
     Format.fprintf fmt "%-16s %-14s %s@." "area (adders)" "cycles" "speedup";
@@ -275,7 +319,9 @@ let curve_cmd =
   Cmd.v
     (Cmd.info "curve"
        ~doc:"Generate a kernel's configuration curve (identification + selection).")
-    Term.(const run $ obs_term $ no_cache_arg $ stats_arg $ kernel_arg)
+    Term.(
+      const run $ obs_term $ no_cache_arg $ stats_arg $ generator_arg
+      $ hw_model_arg $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -293,7 +339,8 @@ let policy_arg =
        & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 
 let select_cmd =
-  let run obs u budget_fraction policy names =
+  let run obs u budget_fraction policy generator names =
+    Experiments.Curves.set_generator generator;
     let tasks = Experiments.Curves.tasks_of ~u names in
     let max_area = Experiments.Curves.max_area_of tasks in
     let budget =
@@ -333,17 +380,17 @@ let select_cmd =
        ~doc:"Optimal inter-task custom-instruction selection (Chapter 3).")
     Term.(
       const run $ obs_term $ utilization_arg $ budget_arg $ policy_arg
-      $ kernel_list_arg)
+      $ generator_arg $ kernel_list_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let iterate_cmd =
-  let run obs u names =
+  let run obs u generator names =
     let inputs =
       Iterative.Driver.tasks_of_kernels ~u
         (List.map (fun n -> (n, resolve n)) names)
     in
-    let result = Iterative.Driver.run inputs in
+    let result = Iterative.Driver.run ~generator inputs in
     List.iter
       (fun (it : Iterative.Driver.iteration) ->
         Format.fprintf fmt "iteration %d: customized %-12s U=%.4f area=%.1f adders@."
@@ -362,7 +409,7 @@ let iterate_cmd =
     (Cmd.info "iterate"
        ~doc:"Iterative top-down customization until the task set schedules \
              (Chapter 5).")
-    Term.(const run $ obs_term $ utilization_arg $ kernel_list_arg)
+    Term.(const run $ obs_term $ utilization_arg $ generator_arg $ kernel_list_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -433,8 +480,9 @@ let experiment_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.")
   in
-  let run obs list jobs no_cache stats id =
+  let run obs list jobs no_cache stats generator id =
     apply_no_cache no_cache;
+    Experiments.Curves.set_generator generator;
     if list then
       List.iter
         (fun (e : Experiments.Registry.experiment) ->
@@ -465,7 +513,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one experiment from the evaluation registry.")
     Term.(
       const run $ obs_term $ list_arg $ jobs_arg $ no_cache_arg $ stats_arg
-      $ id_arg)
+      $ generator_arg $ id_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -571,7 +619,8 @@ let metrics_serve_cmd =
         (fun j op ->
           { Batch.Protocol.id = Printf.sprintf "serve-%d-%d" i j;
             op;
-            instance = inst })
+            instance = inst;
+            generator = Ise.Isegen.Exhaustive })
         [ Batch.Protocol.Edf; Batch.Protocol.Rms;
           Batch.Protocol.Pareto_approx; Batch.Protocol.Curve ]
     in
@@ -1037,7 +1086,7 @@ let check_cmd =
   let suite_arg =
     let doc =
       "Restrict to one suite (repeatable): select, sched, pareto, curve, \
-       engine, parallel or batch."
+       engine, parallel, isegen or batch."
     in
     Arg.(value & opt_all string [] & info [ "suite" ] ~docv:"SUITE" ~doc)
   in

@@ -442,6 +442,260 @@ let candidates_respect_constraints =
         check cands) }
 
 (* ---------------------------------------------------------------- *)
+(* isegen                                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Instance-derived ISEGEN tuning: the seed varies with the instance so
+   three fuzz seeds exercise many restart samplings, while every walk
+   stays cheap enough for a 200-case budget. *)
+let isegen_params_of inst =
+  { Ise.Isegen.default_params with
+    Ise.Isegen.seed = 1 + inst.Instance.budget;
+    restarts = 16;
+    max_moves = 16 }
+
+(* Structural identity of a candidate, independent of Bitset mutability
+   and of evaluation backend bookkeeping. *)
+let ci_sig (ci : Isa.Custom_inst.t) =
+  (Util.Bitset.elements ci.nodes, Isa.Custom_inst.gain ci, ci.area)
+
+let ci_keys cis =
+  List.sort compare
+    (List.map (fun (ci : Isa.Custom_inst.t) -> Util.Bitset.elements ci.nodes) cis)
+
+let legal_candidate dfg constraints (ci : Isa.Custom_inst.t) =
+  if ci.inputs > constraints.Isa.Hw_model.max_inputs then
+    failf "candidate with %d inputs (limit %d)" ci.inputs
+      constraints.Isa.Hw_model.max_inputs
+  else if ci.outputs > constraints.Isa.Hw_model.max_outputs then
+    failf "candidate with %d outputs (limit %d)" ci.outputs
+      constraints.Isa.Hw_model.max_outputs
+  else if Isa.Custom_inst.gain ci <= 0 then
+    failf "candidate with non-positive gain %d" (Isa.Custom_inst.gain ci)
+  else if not (Ir.Dfg.is_convex dfg ci.nodes) then
+    Fail "non-convex candidate emitted"
+  else if not (Ir.Dfg.is_connected dfg ci.nodes) then
+    Fail "disconnected candidate emitted"
+  else if not (Ir.Dfg.all_valid dfg ci.nodes) then
+    Fail "candidate contains an ISE-ineligible operation"
+  else
+    match Isa.Custom_inst.check ~constraints dfg ci.nodes with
+    | Ok _ -> Pass
+    | Error r ->
+      failf "candidate fails re-validation: %s"
+        (Format.asprintf "%a" Isa.Custom_inst.pp_rejection r)
+
+let rec first_failure = function
+  | [] -> Pass
+  | Pass :: rest -> first_failure rest
+  | outcome :: _ -> outcome
+
+let isegen_candidates_legal =
+  { name = "isegen_candidates_legal";
+    suite = "isegen";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let constraints = Isa.Hw_model.default_constraints in
+        let cands =
+          Ise.Isegen.generate ~constraints ~params:(isegen_params_of inst) dfg
+        in
+        first_failure
+          (List.map
+             (fun (ci : Isa.Custom_inst.t) ->
+               match legal_candidate dfg constraints ci with
+               | Pass ->
+                 (* uniform re-evaluation is the identity; any backend's
+                    costs must agree with its own set-level tables *)
+                 let u = Isa.Custom_inst.evaluate_with Isa.Hw_model.uniform dfg ci in
+                 let r = Isa.Custom_inst.evaluate_with Isa.Hw_model.riscv dfg ci in
+                 if ci_sig u <> ci_sig ci then
+                   Fail "uniform re-evaluation changed a candidate"
+                 else if
+                   r.Isa.Custom_inst.hw_cycles
+                   <> Isa.Hw_model.set_hw_cycles_with Isa.Hw_model.riscv dfg
+                        ci.nodes
+                   || r.Isa.Custom_inst.area
+                      <> Isa.Hw_model.set_area_with Isa.Hw_model.riscv dfg
+                           ci.nodes
+                 then Fail "riscv re-evaluation disagrees with its cost tables"
+                 else if
+                   Isa.Custom_inst.gain r
+                   <> r.Isa.Custom_inst.sw_cycles - r.Isa.Custom_inst.hw_cycles
+                 then Fail "gain inconsistent after re-evaluation"
+                 else Pass
+               | outcome -> outcome)
+             cands)) }
+
+(* The differential heart of the suite: on small DFGs the uncapped
+   enumerator is a complete oracle, and ISEGEN must find at least 90 %
+   of the best candidate's gain (in practice it finds the optimum). *)
+let isegen_matches_oracle_on_small =
+  { name = "isegen_matches_oracle_on_small";
+    suite = "isegen";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let n = Ir.Dfg.node_count dfg in
+        if n > 12 then Skip "DFG too large for the exhaustive oracle"
+        else begin
+          let oracle_budget =
+            { Ise.Enumerate.max_size = n;
+              max_explored = 200_000;
+              max_candidates = 20_000 }
+          in
+          let guard = Engine.Guard.create ~fuel:oracle_fuel () in
+          let oracle, saturation =
+            Ise.Enumerate.connected_full ~guard ~budget:oracle_budget dfg
+          in
+          match saturation with
+          | Some _ -> Skip "oracle enumeration saturated"
+          | None ->
+            let best =
+              List.fold_left
+                (fun acc ci -> max acc (Isa.Custom_inst.gain ci))
+                0 oracle
+            in
+            let mine =
+              Ise.Isegen.generate ~params:(isegen_params_of inst) dfg
+            in
+            let got =
+              match mine with [] -> 0 | ci :: _ -> Isa.Custom_inst.gain ci
+            in
+            if best = 0 then
+              if mine = [] then Pass
+              else
+                failf "oracle finds no feasible candidate but isegen emits %d"
+                  (List.length mine)
+            else if 10 * got < 9 * best then
+              failf "isegen best gain %d < 90%% of oracle best %d (%d nodes)"
+                got best n
+            else Pass
+        end) }
+
+let isegen_deterministic =
+  { name = "isegen_deterministic";
+    suite = "isegen";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let params = isegen_params_of inst in
+        let a = Ise.Isegen.generate ~params dfg in
+        let b = Ise.Isegen.generate ~params dfg in
+        if List.map ci_sig a <> List.map ci_sig b then
+          Fail "two runs with identical params diverge"
+        else Pass) }
+
+let isegen_guard_anytime =
+  { name = "isegen_guard_anytime";
+    suite = "isegen";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let constraints = Isa.Hw_model.default_constraints in
+        let params = isegen_params_of inst in
+        let full = Ise.Isegen.generate ~constraints ~params dfg in
+        let fuel = 1 + (inst.Instance.budget mod 60) in
+        let guard = Engine.Guard.create ~fuel () in
+        let partial = Ise.Isegen.generate ~guard ~constraints ~params dfg in
+        match first_failure (List.map (legal_candidate dfg constraints) partial) with
+        | Pass ->
+          (match Engine.Guard.status guard with
+           | Engine.Guard.Exact ->
+             if List.map ci_sig partial <> List.map ci_sig full then
+               Fail "guard never fired yet output differs from unguarded run"
+             else Pass
+           | Engine.Guard.Partial _ ->
+             (* truncation evaluates a prefix of the full run's move
+                sequence, so the anytime pool is a subset of the full
+                pool *)
+             let full_keys = ci_keys full in
+             if
+               List.for_all
+                 (fun k -> List.mem k full_keys)
+                 (ci_keys partial)
+             then Pass
+             else Fail "anytime cut emitted a candidate the full run lacks")
+        | outcome -> outcome) }
+
+let hw_backend_area_monotone =
+  { name = "hw_backend_area_monotone";
+    suite = "isegen";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        let n = Ir.Dfg.node_count dfg in
+        let valid =
+          List.filter (Ir.Dfg.valid_node dfg) (List.init n (fun i -> i))
+        in
+        if valid = [] then Skip "no ISE-eligible operation"
+        else begin
+          let full = Util.Bitset.of_list n valid in
+          first_failure
+            (List.concat_map
+               (fun (b : Isa.Hw_model.backend) ->
+                 let whole = Isa.Hw_model.set_op_area_with b dfg full in
+                 let monotone =
+                   List.map
+                     (fun v ->
+                       let sub = Util.Bitset.copy full in
+                       Util.Bitset.clear sub v;
+                       if Isa.Hw_model.set_op_area_with b dfg sub > whole then
+                         failf "%s: removing node %d raised operator area"
+                           b.Isa.Hw_model.name v
+                       else Pass)
+                     valid
+                 in
+                 let port_floor =
+                   if Isa.Hw_model.set_area_with b dfg full < whole then
+                     failf "%s: port-aware area below operator area"
+                       b.Isa.Hw_model.name
+                   else Pass
+                 in
+                 let legacy_agrees =
+                   if
+                     b.Isa.Hw_model.name = "uniform"
+                     && Isa.Hw_model.set_area_with b dfg full
+                        <> Isa.Hw_model.set_area dfg full
+                   then Fail "uniform backend disagrees with legacy set_area"
+                   else Pass
+                 in
+                 port_floor :: legacy_agrees :: monotone)
+               Isa.Hw_model.backends)
+        end) }
+
+let auto_dispatch_consistent =
+  { name = "auto_dispatch_consistent";
+    suite = "isegen";
+    run =
+      (fun inst ->
+        let dfg = Instance.dfg inst in
+        (* a budget tight enough that many instances saturate, so both
+           arms of the dispatch are exercised *)
+        let budget =
+          { Ise.Enumerate.max_size = 3;
+            max_explored = 8 + (inst.Instance.budget mod 40);
+            max_candidates = 6 }
+        in
+        let isegen = isegen_params_of inst in
+        let exhaustive, saturation =
+          Ise.Enumerate.connected_full ~budget dfg
+        in
+        let auto =
+          Ise.Select.generate_candidates ~budget ~generator:Ise.Isegen.Auto
+            ~isegen dfg
+        in
+        let expected =
+          match saturation with
+          | None -> exhaustive
+          | Some _ -> Ise.Isegen.generate ~params:isegen dfg
+        in
+        if List.map ci_sig auto <> List.map ci_sig expected then
+          failf "auto dispatch diverges from the %s arm"
+            (match saturation with None -> "exhaustive" | Some _ -> "isegen")
+        else Pass) }
+
+(* ---------------------------------------------------------------- *)
 (* engine                                                           *)
 (* ---------------------------------------------------------------- *)
 
@@ -610,6 +864,12 @@ let all =
     inter_stage_approx_covers;
     generated_curve_well_formed;
     candidates_respect_constraints;
+    isegen_candidates_legal;
+    isegen_matches_oracle_on_small;
+    isegen_deterministic;
+    isegen_guard_anytime;
+    hw_backend_area_monotone;
+    auto_dispatch_consistent;
     cache_roundtrip_and_corruption;
     parallel_map_matches_sequential;
     pool_map_result_matches_sequential_fold ]

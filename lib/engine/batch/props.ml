@@ -52,7 +52,8 @@ let stream_of (inst : Check.Instance.t) =
   in
   List.mapi
     (fun i (op, instance) ->
-      { Protocol.id = Printf.sprintf "q%d" i; op; instance })
+      { Protocol.id = Printf.sprintf "q%d" i; op; instance;
+        generator = Ise.Isegen.Exhaustive })
     specs
 
 let fresh_memo ?(spill = false) () =
@@ -98,7 +99,10 @@ let batch_memo_warm_identical inst =
     else Pass
   end
 
-let key_of op instance = (Protocol.prepare { Protocol.id = "k"; op; instance }).Protocol.key
+let key_of op instance =
+  (Protocol.prepare
+     { Protocol.id = "k"; op; instance; generator = Ise.Isegen.Exhaustive })
+    .Protocol.key
 
 let batch_hash_canonical (inst : Check.Instance.t) =
   let permuted = { inst with Check.Instance.tasks = List.rev inst.Check.Instance.tasks } in

@@ -13,7 +13,17 @@ let all_ops = [ Edf; Rms; Pareto_exact; Pareto_approx; Curve ]
 
 let op_of_name n = List.find_opt (fun op -> op_name op = n) all_ops
 
-type request = { id : string; op : op; instance : Check.Instance.t }
+type request = {
+  id : string;
+  op : op;
+  instance : Check.Instance.t;
+  generator : Ise.Isegen.choice;
+}
+
+(* Only curve solving consults the generator; normalising it away on the
+   other ops keeps their keys (and the golden corpus) unchanged. *)
+let generator_of req =
+  match req.op with Curve -> req.generator | _ -> Ise.Isegen.Exhaustive
 
 type prepared = {
   req : request;
@@ -37,7 +47,12 @@ let trim op (i : Check.Instance.t) =
 
 let prepare req =
   let canonical, perm = Canon.instance req.instance in
-  let key_of i = op_name req.op ^ "-" ^ Shash.of_instance i in
+  let gen_tag =
+    match generator_of req with
+    | Ise.Isegen.Exhaustive -> ""
+    | g -> "+" ^ Ise.Isegen.choice_to_string g
+  in
+  let key_of i = op_name req.op ^ gen_tag ^ "-" ^ Shash.of_instance i in
   { req;
     canonical;
     perm;
@@ -55,18 +70,44 @@ let parse_request line =
      with
      | exception R.Parse_error msg -> Error msg
      | id, opn, instance ->
-       (match op_of_name opn with
-        | None -> Error (Printf.sprintf "unknown op %S" opn)
-        | Some op ->
-          if Check.Instance.valid instance then Ok { id; op; instance }
+       let field_opt j name =
+         match j with
+         | R.Obj fields -> List.assoc_opt name fields
+         | _ -> None
+       in
+       let generator =
+         match field_opt j "generator" with
+         | None -> Ok Ise.Isegen.Exhaustive
+         | Some g ->
+           (match R.as_string g with
+            | exception R.Parse_error msg -> Error msg
+            | name ->
+              (match Ise.Isegen.choice_of_string name with
+               | Some c -> Ok c
+               | None -> Error (Printf.sprintf "unknown generator %S" name)))
+       in
+       (match op_of_name opn, generator with
+        | None, _ -> Error (Printf.sprintf "unknown op %S" opn)
+        | _, Error msg -> Error msg
+        | Some op, Ok generator ->
+          if Check.Instance.valid instance then
+            Ok { id; op; instance; generator }
           else Error "instance violates a constructor precondition"))
 
 let request_line req =
+  (* emitted only when it matters, so pre-generator corpora round-trip
+     byte-identically *)
+  let generator =
+    match generator_of req with
+    | Ise.Isegen.Exhaustive -> []
+    | g -> [ ("generator", R.Str (Ise.Isegen.choice_to_string g)) ]
+  in
   R.to_string
     (R.Obj
-       [ ("id", R.Str req.id);
-         ("op", R.Str (op_name req.op));
-         ("instance", R.json_of_instance req.instance) ])
+       ([ ("id", R.Str req.id);
+          ("op", R.Str (op_name req.op));
+          ("instance", R.json_of_instance req.instance) ]
+       @ generator))
 
 let reproject perm = function
   | R.Arr entries when List.length entries = Array.length perm ->

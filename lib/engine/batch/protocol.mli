@@ -21,7 +21,16 @@ type op = Edf | Rms | Pareto_exact | Pareto_approx | Curve
 val op_name : op -> string
 val op_of_name : string -> op option
 
-type request = { id : string; op : op; instance : Check.Instance.t }
+type request = {
+  id : string;
+  op : op;
+  instance : Check.Instance.t;
+  generator : Ise.Isegen.choice;
+      (** candidate generator for [curve] requests; ignored (and
+          normalised to [Exhaustive] in keys and on the wire) for every
+          other op.  Absent on the wire ⇔ [Exhaustive], so pre-generator
+          corpora parse and re-serialise unchanged. *)
+}
 
 (** A request after canonicalization and key derivation — what the
     service schedules. *)
@@ -30,10 +39,12 @@ type prepared = {
   canonical : Check.Instance.t;  (** {!Canon.instance} of the spec *)
   perm : int array;  (** request task [i] is canonical task [perm.(i)] *)
   key : string;
-      (** dedup/memo key: ["<op>-<hash>"], hashing only the instance
-          fields the op consumes — an [edf] request and a [curve]
-          request never alias, and two [edf] requests differing only in
-          [eps] or the DFG do *)
+      (** dedup/memo key: ["<op>[+<generator>]-<hash>"], hashing only
+          the instance fields the op consumes — an [edf] request and a
+          [curve] request never alias, and two [edf] requests differing
+          only in [eps] or the DFG do.  The generator tag appears only
+          for non-exhaustive [curve] requests, so legacy keys are
+          unchanged. *)
   group : string;
       (** like [key] with the budget blanked: requests sharing a group
           are a budget sweep over one problem *)

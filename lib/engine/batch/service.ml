@@ -76,7 +76,8 @@ let edf_payload sel = R.Obj (status_field Engine.Guard.Exact :: selection_fields
 (* [spec] is the request's resource budget (the daemon's per-class
    deadline/fuel admission specs arrive here); without one the solver
    falls back to the process-wide default, exactly as before. *)
-let payload ?spec op (ci : Check.Instance.t) =
+let payload ?spec ?(generator = Ise.Isegen.Exhaustive) op
+    (ci : Check.Instance.t) =
   let guard () =
     match spec with
     | Some s -> Engine.Guard.of_spec s
@@ -106,7 +107,8 @@ let payload ?spec op (ci : Check.Instance.t) =
     let cfg =
       { Ir.Cfg.name = "batch"; code = Ir.Cfg.block "b0" (Check.Instance.dfg ci) }
     in
-    let curve = Ise.Curve.generate ~params:curve_params cfg in
+    let params = { curve_params with Ise.Curve.generator } in
+    let curve = Ise.Curve.generate ~params cfg in
     R.Obj
       [ status_field Engine.Guard.Exact;
         ("base", num_int (Isa.Config.base_cycles curve));
@@ -119,7 +121,11 @@ let payload ?spec op (ci : Check.Instance.t) =
    construction rather than by argument. *)
 let respond req =
   let p = Protocol.prepare req in
-  let s = R.to_string (payload p.Protocol.req.op p.Protocol.canonical) in
+  let s =
+    R.to_string
+      (payload ~generator:p.Protocol.req.generator p.Protocol.req.op
+         p.Protocol.canonical)
+  in
   Protocol.render_response p ~payload:(R.parse s)
 
 (* The daemon's one-request path: probe the shared memo, compute and
@@ -131,7 +137,11 @@ let answer ?memo ?spec req =
   match Option.bind memo (fun m -> Engine.Memo.find m ~key:p.Protocol.key) with
   | Some s -> Protocol.render_response p ~payload:(R.parse s)
   | None ->
-    let s = R.to_string (payload ?spec p.Protocol.req.op p.Protocol.canonical) in
+    let s =
+      R.to_string
+        (payload ?spec ~generator:p.Protocol.req.generator p.Protocol.req.op
+           p.Protocol.canonical)
+    in
     (match memo with
      | Some m -> Engine.Memo.store m ~key:p.Protocol.key s
      | None -> ());
@@ -171,7 +181,9 @@ let compute_group memo (ps : Protocol.prepared list) =
     | _ ->
       ( List.map
           (fun (p : Protocol.prepared) ->
-            (p, payload p.Protocol.req.op p.Protocol.canonical))
+            ( p,
+              payload ~generator:p.Protocol.req.generator p.Protocol.req.op
+                p.Protocol.canonical ))
           missing,
         0 )
   in

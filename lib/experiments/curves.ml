@@ -1,4 +1,11 @@
-let params = Ise.Curve.small
+let base_params = Ise.Curve.small
+
+(* Process-wide generator selection (the CLI's [--generator]).  The
+   in-process memo tables are keyed by kernel name only, so switching
+   generators must drop them; the persistent store is safe because the
+   generator is part of [Ise.Curve.params_key]. *)
+let generator = ref Ise.Isegen.Exhaustive
+let hw = ref Isa.Hw_model.uniform
 
 (* Two-level cache: a per-process memo table in front of the persistent
    Engine.Cache store, so one process never deserialises an entry twice
@@ -15,7 +22,22 @@ let reset () =
   Hashtbl.reset curve_table;
   Hashtbl.reset candidate_table
 
-let key_of name = name ^ "|" ^ Ise.Curve.params_key params
+let set_generator g =
+  if g <> !generator then begin
+    generator := g;
+    reset ()
+  end
+
+let set_hw b =
+  if not (b == !hw) then begin
+    hw := b;
+    reset ()
+  end
+
+let current_params () =
+  { base_params with Ise.Curve.generator = !generator; hw = !hw }
+
+let key_of name = name ^ "|" ^ Ise.Curve.params_key (current_params ())
 
 let cached table ~namespace ~generate name =
   match Hashtbl.find_opt table name with
@@ -41,11 +63,11 @@ let cached table ~namespace ~generate name =
 
 let curve name =
   cached curve_table ~namespace:curve_ns
-    ~generate:(Ise.Curve.generate ~params) name
+    ~generate:(Ise.Curve.generate ~params:(current_params ())) name
 
 let candidates name =
   cached candidate_table ~namespace:cand_ns
-    ~generate:(Ise.Curve.candidates ~params) name
+    ~generate:(Ise.Curve.candidates ~params:(current_params ())) name
 
 let warm ?pool names =
   Engine.Trace.with_span "curves.warm"
@@ -80,11 +102,14 @@ let warm ?pool names =
   (match pool with
    | Some p ->
      Engine.Parallel.Pool.map p
-       (fun name -> (name, Ise.Curve.generate ~pool:p ~params (Kernels.find name)))
+       (fun name ->
+         (name, Ise.Curve.generate ~pool:p ~params:(current_params ())
+                  (Kernels.find name)))
        to_generate
    | None ->
      List.map
-       (fun name -> (name, Ise.Curve.generate ~params (Kernels.find name)))
+       (fun name ->
+         (name, Ise.Curve.generate ~params:(current_params ()) (Kernels.find name)))
        to_generate)
   |> List.iter (fun (name, c) ->
          Engine.Cache.store ~namespace:curve_ns ~key:(key_of name) c;

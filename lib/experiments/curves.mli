@@ -8,9 +8,23 @@
     regenerates a curve; telemetry distinguishes ["curves.memo_hits"]
     from the engine's ["cache.hits"] / ["cache.misses"]. *)
 
-val params : Ise.Curve.params
+val base_params : Ise.Curve.params
 (** The generation parameters every experiment shares
     ([Ise.Curve.small]); they are part of the persistent cache key. *)
+
+val set_generator : Ise.Isegen.choice -> unit
+(** Select the candidate generator for every subsequently generated
+    curve (the CLI's [--generator]).  Switching drops the in-process
+    memo tables; persistent cache entries are distinguished by key. *)
+
+val set_hw : Isa.Hw_model.backend -> unit
+(** Select the hardware cost backend for every subsequently generated
+    curve (the CLI's [--hw-model]); same memo-dropping behaviour as
+    {!set_generator}. *)
+
+val current_params : unit -> Ise.Curve.params
+(** {!base_params} with the selected generator and cost backend
+    applied. *)
 
 val curve : string -> Isa.Config.t
 (** Configuration curve of a kernel by benchmark name (cached). *)

@@ -55,6 +55,13 @@ let make ?constraints dfg nodes =
 
 let feasible ?constraints dfg nodes = Result.is_ok (check ?constraints dfg nodes)
 
+(* Structure (nodes, size, sw cost, port counts) is target-independent;
+   only the hardware latency and silicon area move with the backend. *)
+let evaluate_with backend dfg ci =
+  { ci with
+    hw_cycles = Hw_model.set_hw_cycles_with backend dfg ci.nodes;
+    area = Hw_model.set_area_with backend dfg ci.nodes }
+
 let overlaps a b = Bitset.intersects a.nodes b.nodes
 
 let pp fmt ci =

@@ -41,6 +41,12 @@ val make_unchecked : Ir.Dfg.t -> Util.Bitset.t -> t
 val feasible :
   ?constraints:Hw_model.constraints -> Ir.Dfg.t -> Util.Bitset.t -> bool
 
+val evaluate_with : Hw_model.backend -> Ir.Dfg.t -> t -> t
+(** Re-cost an instruction under another hardware backend: [hw_cycles]
+    and [area] are recomputed from the backend's tables, while the node
+    set, software cost and port counts are unchanged.
+    [evaluate_with Hw_model.uniform] is the identity. *)
+
 val overlaps : t -> t -> bool
 (** The two instructions share at least one operation (same DFG). *)
 

@@ -32,13 +32,54 @@ val area : Ir.Op.kind -> int
 (** Silicon area of one operator, in deci-adders.  Raises
     [Invalid_argument] for ISE-ineligible operations. *)
 
+(** {1 Pluggable cost backends}
+
+    A backend bundles the per-operator latency/area tables with the
+    target's clock period and an explicit per-register-file-port area
+    penalty, so one identification/selection pipeline can cost
+    candidates for several hardware targets.  {!uniform} reproduces the
+    legacy fixed tables exactly (zero port penalty, 120 MHz), so the
+    default pipeline output is bit-identical to the pre-backend code. *)
+
+type backend = {
+  name : string;  (** stable identifier (["uniform"], ["riscv"]) *)
+  op_delay_ps : Ir.Op.kind -> int;
+  op_area : Ir.Op.kind -> int;
+  io_area_per_port : int;
+      (** area charged per input/output register port of a pattern *)
+  cycle_time_ps : int;  (** target clock period *)
+}
+
+val uniform : backend
+(** The thesis's synthesis tables — the legacy cost model. *)
+
+val riscv : backend
+(** A RISC-V-flavoured target: DSP-block multiplier, faster logic,
+    costlier shifts, 6 deci-adders per register port, 100 MHz clock. *)
+
+val backends : backend list
+val backend_of_name : string -> backend option
+
+val set_op_area_with : backend -> Ir.Dfg.t -> Util.Bitset.t -> int
+(** Sum of the backend's operator areas over the set — monotone under
+    set inclusion (no port terms). *)
+
+val set_area_with : backend -> Ir.Dfg.t -> Util.Bitset.t -> int
+(** {!set_op_area_with} plus [io_area_per_port] for each input and
+    output port of the set. *)
+
+val set_hw_cycles_with : backend -> Ir.Dfg.t -> Util.Bitset.t -> int
+(** Hardware latency under the backend's delays and clock:
+    ⌈critical-path delay / cycle⌉, at least 1 for non-empty sets. *)
+
 val set_area : Ir.Dfg.t -> Util.Bitset.t -> int
-(** Total area of a node set (sum of operator areas, as in the thesis's
-    area estimation). *)
+(** [set_area_with uniform] — total area of a node set (sum of operator
+    areas, as in the thesis's area estimation). *)
 
 val set_hw_cycles : Ir.Dfg.t -> Util.Bitset.t -> int
-(** Hardware latency of a node set in core cycles:
-    ⌈critical-path delay / cycle⌉, at least 1 for non-empty sets. *)
+(** [set_hw_cycles_with uniform] — hardware latency of a node set in
+    core cycles: ⌈critical-path delay / cycle⌉, at least 1 for non-empty
+    sets. *)
 
 val adders_of_units : int -> float
 (** Convert deci-adders to adders for reporting. *)

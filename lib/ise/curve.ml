@@ -3,22 +3,30 @@ type params = {
   budget : Enumerate.budget;
   hot_threshold : float;
   sweep_points : int;
+  generator : Isegen.choice;
+  isegen : Isegen.params;
+  hw : Isa.Hw_model.backend;
 }
 
 let default =
   { constraints = Isa.Hw_model.default_constraints;
     budget = Enumerate.default_budget;
     hot_threshold = 0.01;
-    sweep_points = 24 }
+    sweep_points = 24;
+    generator = Isegen.Exhaustive;
+    isegen = Isegen.default_params;
+    hw = Isa.Hw_model.uniform }
 
 let small = { default with budget = Enumerate.small_budget }
 
 let params_key p =
-  Printf.sprintf "io=%d:%d;budget=%d:%d:%d;hot=%h;sweep=%d"
+  Printf.sprintf "io=%d:%d;budget=%d:%d:%d;hot=%h;sweep=%d;gen=%s;ise=%s;hw=%s"
     p.constraints.Isa.Hw_model.max_inputs
     p.constraints.Isa.Hw_model.max_outputs
     p.budget.Enumerate.max_size p.budget.Enumerate.max_explored
     p.budget.Enumerate.max_candidates p.hot_threshold p.sweep_points
+    (Isegen.choice_to_string p.generator)
+    (Isegen.params_key p.isegen) p.hw.Isa.Hw_model.name
 
 let profile_cycles profile =
   Util.Numeric.sum_byf
@@ -53,7 +61,8 @@ let candidates ?pool ?(params = default) cfg =
     (pool_map pool
        (fun (block, (b, freq)) ->
          Select.candidates_of_block ~constraints:params.constraints
-           ~budget:params.budget ~block ~freq b.Ir.Cfg.body)
+           ~budget:params.budget ~generator:params.generator
+           ~isegen:params.isegen ~hw:params.hw ~block ~freq b.Ir.Cfg.body)
        (List.mapi (fun block bf -> (block, bf)) hot))
 
 let generate ?pool ?(params = default) cfg =

@@ -17,6 +17,14 @@ type params = {
   (** minimum fraction of profiled cycles for a block to be customized
       (default 1 %) *)
   sweep_points : int;  (** area budgets swept per curve (default 24) *)
+  generator : Isegen.choice;
+  (** candidate generator (default [Exhaustive] — the legacy pipeline);
+      [Isegen] scales past the enumeration caps, [Auto] switches to
+      ISEGEN only when the exhaustive search saturates a cap *)
+  isegen : Isegen.params;  (** ISEGEN tuning, used by [Isegen]/[Auto] *)
+  hw : Isa.Hw_model.backend;
+  (** hardware cost backend; non-[uniform] backends re-cost candidates
+      and drop those whose gain vanishes *)
 }
 
 val default : params

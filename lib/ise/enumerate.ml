@@ -26,7 +26,41 @@ let frontier dfg allowed set =
     set;
   !out
 
-let connected ?guard ?(constraints = Isa.Hw_model.default_constraints)
+type saturation = Cap_candidates | Cap_explored
+
+let saturation_reason = function
+  | Cap_candidates -> "max_candidates"
+  | Cap_explored -> "max_explored"
+
+(* Warn once per reason per process, then drop to Debug: hot curve
+   sweeps saturate on most blocks and must not flood stderr. *)
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 2
+let warned_lock = Mutex.create ()
+
+let report_saturation budget sat ~explored ~emitted =
+  let reason = saturation_reason sat in
+  Engine.Telemetry.incr "enumerate.cap_saturated";
+  Obs.Metrics.inc ~labels:[ ("reason", reason) ] "enumerate.cap_saturated";
+  Obs.Flight.record ~severity:Obs.Flight.Warn "enumerate.cap_saturated"
+    [ ("reason", reason);
+      ("explored", string_of_int explored);
+      ("emitted", string_of_int emitted) ];
+  let first =
+    Mutex.lock warned_lock;
+    let f = not (Hashtbl.mem warned reason) in
+    if f then Hashtbl.add warned reason ();
+    Mutex.unlock warned_lock;
+    f
+  in
+  let msg =
+    Printf.sprintf
+      "enumeration saturated its %s cap (explored %d, emitted %d, budget \
+       %d/%d): candidate pool is truncated — consider --generator isegen"
+      reason explored emitted budget.max_explored budget.max_candidates
+  in
+  if first then Engine.Log.warn "%s" msg else Engine.Log.debug "%s" msg
+
+let connected_full ?guard ?(constraints = Isa.Hw_model.default_constraints)
     ?(budget = default_budget) ?allowed dfg =
   let guard =
     match guard with Some g -> g | None -> Engine.Guard.default ()
@@ -84,7 +118,19 @@ let connected ?guard ?(constraints = Isa.Hw_model.default_constraints)
   Engine.Telemetry.add "enumerate.candidates" !emitted;
   Engine.Histogram.observe "enumerate.candidates_per_block"
     (float_of_int !emitted);
-  List.rev !results
+  let saturation =
+    if !emitted >= budget.max_candidates then Some Cap_candidates
+    else if (not (Queue.is_empty queue)) && !explored >= budget.max_explored
+    then Some Cap_explored
+    else None
+  in
+  Option.iter
+    (fun sat -> report_saturation budget sat ~explored:!explored ~emitted:!emitted)
+    saturation;
+  (List.rev !results, saturation)
+
+let connected ?guard ?constraints ?budget ?allowed dfg =
+  fst (connected_full ?guard ?constraints ?budget ?allowed dfg)
 
 let max_miso ?(constraints = Isa.Hw_model.default_constraints) dfg =
   let n = Ir.Dfg.node_count dfg in

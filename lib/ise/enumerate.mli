@@ -18,6 +18,29 @@ val default_budget : budget
 val small_budget : budget
 (** A cheaper budget for the fast paths of iterative algorithms. *)
 
+type saturation = Cap_candidates | Cap_explored
+(** Which structural cap stopped the search with work still pending.
+    Saturation means the candidate pool is {e truncated}: subgraphs
+    beyond the cap were never examined.  Each occurrence bumps the
+    [enumerate.cap_saturated] telemetry counter and the labelled
+    [enumerate.cap_saturated{reason}] metric, records a [Warn] flight
+    event, and logs a warning (first occurrence per reason; [Debug]
+    after that). *)
+
+val saturation_reason : saturation -> string
+(** Stable label: ["max_candidates"] or ["max_explored"]. *)
+
+val connected_full :
+  ?guard:Engine.Guard.t ->
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:budget ->
+  ?allowed:Util.Bitset.t ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t list * saturation option
+(** Like {!connected}, and additionally reports whether a budget cap
+    saturated (guard exhaustion is {e not} saturation — the guard's own
+    status tracks that). *)
+
 val connected :
   ?guard:Engine.Guard.t ->
   ?constraints:Isa.Hw_model.constraints ->

@@ -1,0 +1,61 @@
+(** ISEGEN-style iterative candidate generation.
+
+    Exhaustive enumeration ({!Enumerate.connected}) is exact but hits
+    its exploration caps on blocks beyond ~20 operations, silently
+    truncating the candidate pool to the small patterns BFS reaches
+    first.  This module trades exactness for scale, after Biswas
+    et al.'s ISEGEN: seeded hill-climbing walks over convex subgraphs
+    with hull repair on every grow step, a soft I/O-overflow penalty so
+    walks can cross mildly infeasible ridges, restarts from many seed
+    nodes, and a final grow-merge pass over the best cuts found.  Every
+    feasible set evaluated anywhere along any walk is recorded, so the
+    output is a candidate {e pool}, directly substitutable for the
+    enumerator's.
+
+    The generator is deterministic for fixed [params] (including the
+    PRNG seed) and guard-aware: an exhausted {!Engine.Guard} stops the
+    search early and the partial pool is still legal (anytime). *)
+
+(** Which candidate generator a pipeline should use.  [Auto] runs the
+    exhaustive enumerator first and falls back to ISEGEN only when the
+    enumeration saturated one of its caps. *)
+type choice = Exhaustive | Isegen | Auto
+
+val choice_to_string : choice -> string
+val choice_of_string : string -> choice option
+val all_choices : choice list
+
+type params = {
+  seed : int;  (** PRNG seed for restart sampling *)
+  restarts : int;  (** max number of seed nodes walked *)
+  max_moves : int;  (** max grow/shrink steps per walk *)
+  max_size : int;  (** largest candidate considered *)
+  io_penalty : int;  (** merit malus per excess register port *)
+  merge_pool : int;  (** top-k cuts paired in the merge pass *)
+}
+
+val default_params : params
+
+val params_key : params -> string
+(** Stable encoding for persistent-cache keys. *)
+
+val generate :
+  ?guard:Engine.Guard.t ->
+  ?constraints:Isa.Hw_model.constraints ->
+  ?params:params ->
+  ?allowed:Util.Bitset.t ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t list
+(** All feasible positive-gain candidates found, deduplicated and
+    sorted by gain (descending), then key — deterministic.  [allowed]
+    restricts the search to a node subset (default: every node). *)
+
+val best_cut :
+  ?guard:Engine.Guard.t ->
+  ?constraints:Isa.Hw_model.constraints ->
+  ?params:params ->
+  allowed:Util.Bitset.t ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t option
+(** Highest-gain candidate within [allowed], if any — the iterative
+    counterpart of {!Enumerate.best_single_cut}. *)

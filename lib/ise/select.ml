@@ -2,9 +2,35 @@ type candidate = { ci : Isa.Custom_inst.t; block : int; freq : float }
 
 let total_gain c = float_of_int (Isa.Custom_inst.gain c.ci) *. c.freq
 
-let candidates_of_block ?constraints ?budget ~block ~freq dfg =
-  Enumerate.connected ?constraints ?budget dfg
-  |> List.map (fun ci -> { ci; block; freq })
+let generate_candidates ?guard ?constraints ?budget
+    ?(generator = Isegen.Exhaustive) ?(isegen = Isegen.default_params)
+    ?allowed dfg =
+  match generator with
+  | Isegen.Exhaustive ->
+    Enumerate.connected ?guard ?constraints ?budget ?allowed dfg
+  | Isegen.Isegen ->
+    Isegen.generate ?guard ?constraints ~params:isegen ?allowed dfg
+  | Isegen.Auto ->
+    let exhaustive, saturation =
+      Enumerate.connected_full ?guard ?constraints ?budget ?allowed dfg
+    in
+    (match saturation with
+     | None -> exhaustive
+     | Some _ ->
+       Engine.Telemetry.incr "isegen.auto_switches";
+       Isegen.generate ?guard ?constraints ~params:isegen ?allowed dfg)
+
+let candidates_of_block ?constraints ?budget ?generator ?isegen
+    ?(hw = Isa.Hw_model.uniform) ~block ~freq dfg =
+  let raw = generate_candidates ?constraints ?budget ?generator ?isegen dfg in
+  let costed =
+    if hw == Isa.Hw_model.uniform then raw
+    else
+      List.filter
+        (fun ci -> Isa.Custom_inst.gain ci > 0)
+        (List.map (Isa.Custom_inst.evaluate_with hw dfg) raw)
+  in
+  List.map (fun ci -> { ci; block; freq }) costed
 
 let conflict a b = a.block = b.block && Isa.Custom_inst.overlaps a.ci b.ci
 

@@ -19,10 +19,32 @@ type candidate = {
 val total_gain : candidate -> float
 (** Cycles saved per task run: per-execution gain × frequency. *)
 
+val generate_candidates :
+  ?guard:Engine.Guard.t ->
+  ?constraints:Isa.Hw_model.constraints ->
+  ?budget:Enumerate.budget ->
+  ?generator:Isegen.choice ->
+  ?isegen:Isegen.params ->
+  ?allowed:Util.Bitset.t ->
+  Ir.Dfg.t ->
+  Isa.Custom_inst.t list
+(** Candidate identification behind a generator switch (default
+    [Exhaustive], the legacy behaviour).  [Auto] runs the exhaustive
+    enumerator and re-generates with ISEGEN only when a budget cap
+    saturated (counted by the [isegen.auto_switches] telemetry
+    counter). *)
+
 val candidates_of_block :
   ?constraints:Isa.Hw_model.constraints ->
   ?budget:Enumerate.budget ->
+  ?generator:Isegen.choice ->
+  ?isegen:Isegen.params ->
+  ?hw:Isa.Hw_model.backend ->
   block:int -> freq:float -> Ir.Dfg.t -> candidate list
+(** {!generate_candidates} wrapped with block/frequency metadata.  With
+    a non-[uniform] [hw] backend, candidates are re-costed via
+    {!Isa.Custom_inst.evaluate_with} and those whose gain drops to ≤ 0
+    under the new model are filtered out. *)
 
 val conflict : candidate -> candidate -> bool
 (** Same block and overlapping node sets. *)

@@ -63,10 +63,31 @@ let utilization_of tasks =
     (fun ts -> float_of_int ts.wcet /. float_of_int ts.input.period)
     tasks
 
+(* Disjoint cover of [allowed] by ISEGEN candidates: greedy by gain over
+   the deterministic pool, skipping overlaps — the iterative-generator
+   counterpart of one MLGP partition. *)
+let isegen_partition_region ?seed ~isegen dfg ~allowed =
+  let params =
+    match seed with
+    | None -> isegen
+    | Some seed -> { isegen with Ise.Isegen.seed }
+  in
+  let pool = Ise.Isegen.generate ~params ~allowed dfg in
+  let taken = Bitset.create (Ir.Dfg.node_count dfg) in
+  List.filter
+    (fun ci ->
+      if Bitset.intersects taken ci.Isa.Custom_inst.nodes then false
+      else begin
+        Bitset.union_into taken ci.Isa.Custom_inst.nodes;
+        true
+      end)
+    pool
+
 (* Generate custom instructions for the heaviest unexplored regions of
    the block subsequence S until the WCET reduction reaches delta.
    Returns (cycles gained, area added, instructions added). *)
-let generate_for_task ?seed ts s_blocks delta =
+let generate_for_task ?seed ?(generator = Ise.Isegen.Exhaustive)
+    ?(isegen = Ise.Isegen.default_params) ts s_blocks delta =
   let gained = ref 0 and area = ref 0 and count = ref 0 in
   (try
      List.iter
@@ -79,7 +100,14 @@ let generate_for_task ?seed ts s_blocks delta =
                let allowed = Bitset.copy region.Ir.Region.members in
                Bitset.inter_into allowed st.available;
                if not (Bitset.is_empty allowed) then begin
-                 let cis = Mlgp.partition_region ?seed b.body ~allowed in
+                 let cis =
+                   match generator with
+                   | Ise.Isegen.Exhaustive ->
+                     (* legacy flow: MLGP partitions the region *)
+                     Mlgp.partition_region ?seed b.body ~allowed
+                   | Ise.Isegen.Isegen | Ise.Isegen.Auto ->
+                     isegen_partition_region ?seed ~isegen b.body ~allowed
+                 in
                  List.iter
                    (fun ci ->
                      let g = Isa.Custom_inst.gain ci in
@@ -97,7 +125,8 @@ let generate_for_task ?seed ts s_blocks delta =
    with Exit -> ());
   (!gained, !area, !count)
 
-let run ?(target = 1.0) ?(coverage = 0.9) ?(max_iterations = 200) ?seed inputs =
+let run ?(target = 1.0) ?(coverage = 0.9) ?(max_iterations = 200) ?seed
+    ?generator ?isegen inputs =
   let tasks = List.map init_task inputs in
   let iterations = ref [] in
   let total_area = ref 0 and instruction_count = ref 0 in
@@ -137,7 +166,9 @@ let run ?(target = 1.0) ?(coverage = 0.9) ?(max_iterations = 200) ?seed inputs =
             else take (bf :: acc) (sum + w) rest
         in
         let s_blocks = take [] 0 weighted in
-        let gained, area, count = generate_for_task ?seed ts s_blocks delta in
+        let gained, area, count =
+          generate_for_task ?seed ?generator ?isegen ts s_blocks delta
+        in
         if gained = 0 then ts.active <- false
         else begin
           ts.wcet <- Ir.Cfg.wcet_with ts.input.cfg ~cost:(cost_fn ts);

@@ -38,8 +38,14 @@ val run :
   ?coverage:float ->
   ?max_iterations:int ->
   ?seed:int ->
+  ?generator:Ise.Isegen.choice ->
+  ?isegen:Ise.Isegen.params ->
   task_input list ->
   result
 (** [target] defaults to 1.0 (EDF schedulability); [coverage] (default
     0.9) is the share of the WCET that the selected basic-block
-    subsequence S must account for. *)
+    subsequence S must account for.  [generator] picks how each region
+    is covered: [Exhaustive] (default) keeps the thesis's MLGP
+    partitioning, while [Isegen]/[Auto] cover the region with a
+    disjoint greedy selection from the ISEGEN candidate pool ([seed]
+    overrides the ISEGEN restart seed). *)

@@ -11,6 +11,8 @@
 val run :
   ?constraints:Isa.Hw_model.constraints ->
   ?budget:Ise.Enumerate.budget ->
+  ?generator:Ise.Isegen.choice ->
+  ?isegen:Ise.Isegen.params ->
   ?max_instructions:int ->
   ?on_step:(Isa.Custom_inst.t -> unit) ->
   Ir.Dfg.t ->

@@ -63,9 +63,24 @@ let () =
           [ (op, inst); (op, inst) ])
         [ 1; 2; 3; 4; 5 ]
   in
+  let isegen_specs =
+    (* the iterative generator covers the same diamond pair (its keys
+       must diverge from the exhaustive ones above) plus two generated
+       instances of its own *)
+    [ (P.Curve, diamond);
+      ( P.Curve,
+        { diamond with
+          Check.Instance.dfg = Batch.Props.renumber_dfg diamond.Check.Instance.dfg
+        } ) ]
+    @ List.map
+        (fun seed -> (P.Curve, Check.Gen.instance (Util.Prng.create seed)))
+        [ 6; 7 ]
+  in
+  let line generator i (op, instance) =
+    print_endline
+      (P.request_line { P.id = Printf.sprintf "g%02d" i; op; instance; generator })
+  in
+  List.iteri (line Ise.Isegen.Exhaustive) specs;
   List.iteri
-    (fun i (op, instance) ->
-      print_endline
-        (P.request_line
-           { P.id = Printf.sprintf "g%02d" i; op; instance }))
-    specs
+    (fun i spec -> line Ise.Isegen.Isegen (List.length specs + i) spec)
+    isegen_specs

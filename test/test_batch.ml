@@ -53,7 +53,9 @@ let test_request_line_round_trip () =
       let op =
         List.nth [ P.Edf; P.Rms; P.Pareto_exact; P.Pareto_approx; P.Curve ] (i mod 5)
       in
-      let req = { P.id = Printf.sprintf "r%d" i; op; instance = inst } in
+      let req = { P.id = Printf.sprintf "r%d" i; op; instance = inst;
+                  generator = Ise.Isegen.Exhaustive }
+      in
       match P.parse_request (P.request_line req) with
       | Ok back ->
         check string "id" req.P.id back.P.id;
@@ -91,10 +93,16 @@ let test_hash_stable_across_runs () =
       eps = 0.5;
       dfg = { Check.Instance.kinds = []; edges = []; live_outs = [] } }
   in
-  let key = (P.prepare { P.id = "s"; op = P.Edf; instance = inst }).P.key in
+  let key = (P.prepare
+       { P.id = "s"; op = P.Edf; instance = inst;
+         generator = Ise.Isegen.Exhaustive })
+      .P.key in
   check string "pinned key" "edf-9a2649cf7ae86115" key;
   check string "pure function of the bytes" key
-    (P.prepare { P.id = "other"; op = P.Edf; instance = inst }).P.key
+    (P.prepare
+       { P.id = "other"; op = P.Edf; instance = inst;
+         generator = Ise.Isegen.Exhaustive })
+      .P.key
 
 let test_hash_collision_sanity () =
   (* 10k generated instances: equal keys must mean equal canonical
@@ -103,7 +111,11 @@ let test_hash_collision_sanity () =
   let distinct_keys = Hashtbl.create 4096 in
   List.iter
     (fun inst ->
-      let p = P.prepare { P.id = "c"; op = P.Edf; instance = inst } in
+      let p =
+        P.prepare
+          { P.id = "c"; op = P.Edf; instance = inst;
+            generator = Ise.Isegen.Exhaustive }
+      in
       (* the edf key hashes only the fields the op consumes: budget and
          tasks (eps and the DFG are blanked) *)
       let bytes =

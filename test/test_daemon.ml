@@ -106,6 +106,31 @@ let test_concurrent_clients_byte_identical () =
    | fs -> Alcotest.fail (String.concat "\n---\n" fs));
   check bool "every request answered" true (Daemon.Server.served _d >= 4 * List.length reqs)
 
+(* The isegen curve subset of the corpus, replayed over a live
+   connection: the daemon's memo/dedup path must keep the iterative
+   generator's responses byte-identical to the committed expectations,
+   just like the exhaustive ones. *)
+let test_isegen_subset_byte_identical () =
+  with_daemon @@ fun path _d ->
+  let subset =
+    List.filter
+      (fun ((r : Batch.Protocol.request), _) ->
+        r.Batch.Protocol.generator = Ise.Isegen.Isegen)
+      (List.combine (Lazy.force requests) (Lazy.force expected))
+  in
+  check bool "corpus contains isegen cases" true (List.length subset >= 4);
+  let c = Daemon.Client.connect ~unix_path:path () in
+  Fun.protect
+    ~finally:(fun () -> Daemon.Client.close c)
+    (fun () ->
+      List.iteri
+        (fun i ((req : Batch.Protocol.request), want) ->
+          match Daemon.Client.rpc c req with
+          | Ok got ->
+            check string (Printf.sprintf "isegen reply %d intact" i) want got
+          | Error msg -> Alcotest.failf "isegen request %d died: %s" i msg)
+        subset)
+
 (* max_inflight = 1 with a pool: pipelining the corpus down one
    connection must shed at least one request with an explicit
    `overloaded` response — and every request still gets exactly one
@@ -488,6 +513,8 @@ let () =
     [ ( "daemon",
         [ Alcotest.test_case "concurrent clients byte-identical" `Quick
             test_concurrent_clients_byte_identical;
+          Alcotest.test_case "isegen subset byte-identical" `Quick
+            test_isegen_subset_byte_identical;
           Alcotest.test_case "overload sheds explicitly" `Quick
             test_overload_sheds_explicitly;
           Alcotest.test_case "drain flushes and refuses" `Quick

@@ -59,6 +59,34 @@ let test_corpus_shape () =
 let test_sequential_matches_expected () =
   check_lines "sequential" (List.map Batch.Service.respond (requests ()))
 
+(* The iterative-generator subset: the corpus must carry isegen curve
+   requests, their keys must wear the generator tag (so they can never
+   alias an exhaustive memo entry), and replaying just that subset must
+   reproduce the committed bytes. *)
+let test_isegen_subset_matches_expected () =
+  let tagged = "curve+" ^ Ise.Isegen.choice_to_string Ise.Isegen.Isegen ^ "-" in
+  let subset =
+    List.filter
+      (fun ((r : Batch.Protocol.request), _) ->
+        r.Batch.Protocol.generator = Ise.Isegen.Isegen)
+      (List.combine (requests ()) (Lazy.force expected))
+  in
+  check bool "corpus contains isegen cases" true (List.length subset >= 4);
+  List.iteri
+    (fun i ((req : Batch.Protocol.request), want) ->
+      let prepared = Batch.Protocol.prepare req in
+      check bool
+        (Printf.sprintf "isegen key %d wears the generator tag" i)
+        true
+        (String.length prepared.Batch.Protocol.key > String.length tagged
+         && String.sub prepared.Batch.Protocol.key 0 (String.length tagged)
+            = tagged);
+      check string
+        (Printf.sprintf "isegen reply %d byte-identical" i)
+        want
+        (Batch.Service.respond req))
+    subset
+
 let test_batch_cold_matches_expected () =
   let lines, stats =
     Engine.Parallel.Pool.with_pool ~jobs:2 @@ fun pool ->
@@ -83,6 +111,8 @@ let () =
         [ Alcotest.test_case "corpus shape" `Quick test_corpus_shape;
           Alcotest.test_case "sequential matches expected" `Quick
             test_sequential_matches_expected;
+          Alcotest.test_case "isegen subset matches expected" `Quick
+            test_isegen_subset_matches_expected;
           Alcotest.test_case "batch (cold) matches expected" `Quick
             test_batch_cold_matches_expected;
           Alcotest.test_case "batch (warm) matches expected" `Quick
